@@ -1,0 +1,48 @@
+"""Ablation A4 — PSNR gain over SOTA vs GOP length.
+
+The paper's ~2 dB average gain (Fig. 14a) is a GOP-60 number: NEMO's
+non-reference reconstruction decays across the GOP, so the longer the
+GOP (and game streaming *shortens* GOPs vs video streaming, making
+reference peaks more frequent but each tail deeper), the further its
+average falls behind GameStreamSR's flat quality. This bench sweeps the
+GOP length on G3 and shows the gain growing monotonically — connecting
+our reduced-geometry numbers to the paper's headline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import quality_sessions
+from repro.analysis.tables import format_table
+
+from conftest import emit_report
+
+GOP_LENGTHS = (12, 24, 48)
+
+
+def test_ablation_gop_length(benchmark):
+    rows = []
+    gains = []
+    for gop in GOP_LENGTHS:
+        sessions = quality_sessions(
+            "G3", designs=("gamestreamsr", "nemo"), n_frames=gop, gop_size=gop,
+            with_lpips=False,
+        )
+        ours = sessions["gamestreamsr"].mean_psnr()
+        nemo = sessions["nemo"].mean_psnr()
+        gains.append(ours - nemo)
+        rows.append((gop, round(ours, 2), round(nemo, 2), f"{ours - nemo:+.2f}"))
+    emit_report(
+        "ablation_gop_length",
+        format_table(
+            ["GOP length", "ours PSNR dB", "SOTA PSNR dB", "gain dB"],
+            rows,
+            title="A4: PSNR gain over SOTA vs GOP length (G3; paper's Fig. 14a uses GOP-60)",
+        ),
+    )
+
+    # The gain must grow monotonically with GOP length (SOTA decays).
+    assert gains == sorted(gains)
+    assert gains[-1] > gains[0] + 0.3
+
+    session = quality_sessions("G3", designs=("gamestreamsr",), n_frames=12, gop_size=12, with_lpips=False)
+    benchmark(lambda: session["gamestreamsr"].mean_psnr())

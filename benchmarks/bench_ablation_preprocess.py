@@ -1,0 +1,58 @@
+"""Ablation A1 — depth-preprocessing design choices (DESIGN.md index).
+
+Compares (a) quantile vs the paper's literal equal-range layering and
+(b) center-bias weighting on/off, by where the detected RoI lands across
+the ten games. The metric is the RoI centre's distance from the frame
+centre — the paper's Insight-1 says the player's focus (and our animated
+subjects) sit near the centre.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.config import RoIConfig
+from repro.core.detector import RoIDetector
+from repro.render.games import GAME_TABLE, build_game
+
+from conftest import emit_report
+
+W, H = 224, 128
+SIDE = 54
+
+VARIANTS = {
+    "quantile+center (default)": RoIConfig(),
+    "range layering (paper literal)": RoIConfig(layer_mode="range"),
+    "no center weighting": RoIConfig(center_weight=0.0),
+}
+
+
+def _mean_center_distance(config: RoIConfig) -> float:
+    detector = RoIDetector(SIDE, config)
+    distances = []
+    for game_id, _, _ in GAME_TABLE:
+        frame = build_game(game_id).render_frame(5, W, H)
+        cx, cy = detector.detect(frame.depth).box.center
+        distances.append(float(np.hypot(cx - W / 2, cy - H / 2)))
+    return float(np.mean(distances))
+
+
+def test_ablation_preprocessing_variants(benchmark):
+    results = {name: _mean_center_distance(cfg) for name, cfg in VARIANTS.items()}
+    table = format_table(
+        ["variant", "mean RoI-centre distance (px)"],
+        [(name, round(dist, 1)) for name, dist in results.items()],
+        title="A1: preprocessing ablation over the ten games (frame centre = player focus)",
+    )
+    emit_report("ablation_preprocess", table)
+
+    default = results["quantile+center (default)"]
+    # The default must track the central subject better than both ablations.
+    assert default <= results["range layering (paper literal)"] + 1e-9
+    assert default < results["no center weighting"]
+    assert default < 30.0  # lands near the centre in absolute terms
+
+    frame = build_game("G3").render_frame(5, W, H)
+    detector = RoIDetector(SIDE, RoIConfig())
+    benchmark(lambda: detector.detect(frame.depth))

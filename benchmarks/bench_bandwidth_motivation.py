@@ -1,0 +1,61 @@
+"""Sec. II-A / IV-B2 motivation numbers: bandwidth and frame drops.
+
+* Streaming 720p + RoI metadata instead of native 2K cuts bandwidth by
+  ~66 % (paper Sec. IV-B2) — measured here with the real codec.
+* High-resolution streams suffer heavy frame drops on constrained links
+  (the study the paper cites saw 44-90 %) — reproduced with the network
+  model's queueing + deadline mechanics.
+* Server GPU utilization drops from 79 % to 52 % when rendering 720p
+  instead of 1440p, freeing shader capacity for RoI detection.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import bandwidth_comparison
+from repro.analysis.tables import format_paper_vs_measured
+from repro.network.link import NetworkLink
+from repro.platform.latency import server_gpu_utilization
+
+from conftest import emit_report
+
+
+def test_bandwidth_reduction(benchmark):
+    result = bandwidth_comparison(game_id="G3", n_frames=12)
+    reduction = result["bandwidth_reduction_pct"]
+    report = format_paper_vs_measured(
+        [
+            ("bandwidth reduction, 720p+RoI vs 2K", "66%", f"{reduction:.1f}%"),
+            ("LR bytes/frame (eval scale)", "-", round(result["lr_bytes_per_frame"])),
+            ("HR bytes/frame (eval scale)", "-", round(result["hr_bytes_per_frame"])),
+        ],
+        title="Sec. IV-B2: bandwidth savings from LR streaming",
+    )
+    emit_report("bandwidth_reduction", report)
+    assert 55.0 < reduction < 80.0  # paper: 66 %
+
+    benchmark(lambda: bandwidth_comparison(game_id="G3", n_frames=12))
+
+
+def test_frame_drops_motivation(benchmark):
+    """2K streaming overloads a constrained link; 720p survives."""
+    bytes_720p = 30_000  # ~14 Mbps at 60 FPS
+    bytes_2k = 90_000  # ~43 Mbps (2K at the same quality, measured ratio)
+    link = NetworkLink(bandwidth_mbps=35.0, propagation_ms=8.0, seed=0)
+    drops_720 = link.stream_drop_rate(bytes_720p, n_frames=300)
+    drops_2k = NetworkLink(bandwidth_mbps=35.0, propagation_ms=8.0, seed=0).stream_drop_rate(
+        bytes_2k, n_frames=300
+    )
+    report = format_paper_vs_measured(
+        [
+            ("2K stream frame drops", "44-90% (cited study)", f"{drops_2k * 100:.0f}%"),
+            ("720p stream frame drops", "low", f"{drops_720 * 100:.0f}%"),
+            ("server GPU util at 720p", "52%", f"{server_gpu_utilization(921_600):.0f}%"),
+            ("server GPU util at 1440p", "79%", f"{server_gpu_utilization(3_686_400):.0f}%"),
+        ],
+        title="Sec. II-A motivation: network and server headroom",
+    )
+    emit_report("frame_drops_motivation", report)
+    assert drops_2k > 0.4
+    assert drops_720 < 0.1
+
+    benchmark(lambda: NetworkLink(bandwidth_mbps=35.0, seed=0).stream_drop_rate(bytes_2k, n_frames=120))

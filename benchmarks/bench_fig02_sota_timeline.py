@@ -1,0 +1,47 @@
+"""Fig. 2 — SOTA super-resolution execution timeline over 3 GOPs.
+
+The paper's motivating plot: NEMO's reference-frame upscaling towers over
+the 16.66 ms deadline and even its non-reference frames miss it. The
+bench reproduces the staircase and benchmarks the NEMO non-reference
+reconstruction kernel (the per-frame work behind the timeline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import sota_timeline
+from repro.analysis.tables import format_paper_vs_measured, format_table
+from repro.baselines.nemo import reconstruct_nonreference
+from conftest import emit_report
+
+
+def test_fig02_sota_timeline(benchmark):
+    rows = sota_timeline(device_name="samsung_tab_s8", n_gops=3, gop_size=8)
+    table = format_table(
+        ["frame", "type", "upscale ms", "meets 16.66 ms"],
+        [(r["frame"], r["type"], round(r["upscale_ms"], 1), r["meets_deadline"]) for r in rows],
+        title="Fig. 2: SOTA (NEMO) upscaling timeline, 3 GOPs, S8 Tab",
+    )
+
+    refs = [r["upscale_ms"] for r in rows if r["type"] == "I"]
+    nonrefs = [r["upscale_ms"] for r in rows if r["type"] == "P"]
+    summary = format_paper_vs_measured(
+        [
+            ("reference upscale latency (ms)", "~217 (4.6 FPS)", round(float(np.mean(refs)), 1)),
+            ("non-reference latency (ms)", "> 16.66 (violates 60 FPS)", round(float(np.mean(nonrefs)), 1)),
+            ("any frame real-time?", "no", any(r["meets_deadline"] for r in rows)),
+        ],
+        title="Fig. 2 shape check",
+    )
+    emit_report("fig02_sota_timeline", table + "\n\n" + summary)
+
+    assert all(not r["meets_deadline"] for r in rows)
+    assert min(refs) > 10 * max(nonrefs) / 2  # reference towers over non-ref
+
+    # Kernel: the per-frame NEMO reconstruction math at eval scale.
+    rng = np.random.default_rng(0)
+    hr_ref = rng.uniform(size=(128, 224, 3))
+    mv = rng.integers(-3, 4, size=(8, 14, 2))
+    residual = rng.normal(scale=0.02, size=(64, 112, 3))
+    benchmark(lambda: reconstruct_nonreference(hr_ref, mv, residual, 2, 8))

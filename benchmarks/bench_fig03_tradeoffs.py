@@ -1,0 +1,70 @@
+"""Fig. 3 — SR latency vs (a) upscale factor / quality, (b) input resolution.
+
+(a) Larger upscale factors shrink the input (lower latency) but cost
+quality — motivating the paper's choice of x2 from 720p.
+(b) At x2, only small inputs (~240p / ~RoI-sized windows) meet 16.66 ms —
+the opportunity GameStreamSR exploits.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import input_resolution_sweep, upscale_factor_tradeoff
+from repro.analysis.tables import format_paper_vs_measured, format_table
+from repro.platform.calibration import REALTIME_DEADLINE_MS
+from repro.platform.device import samsung_tab_s8
+from repro.platform.latency import npu_sr_latency_ms
+
+from conftest import emit_report
+
+
+def test_fig03a_upscale_factor_tradeoff(benchmark):
+    points = upscale_factor_tradeoff(device_name="samsung_tab_s8")
+    table = format_table(
+        ["factor", "input (eval px)", "NPU latency ms", "bilinear PSNR dB"],
+        [
+            (f"x{p.factor}", f"{p.input_height}x{p.input_width}", round(p.npu_latency_ms, 1), round(p.bilinear_psnr_db, 2))
+            for p in points
+        ],
+        title="Fig. 3a: upscale factor vs latency and attainable quality (S8 Tab)",
+    )
+    shape = format_paper_vs_measured(
+        [
+            ("quality drops as factor grows", "yes", points[0].bilinear_psnr_db > points[-1].bilinear_psnr_db),
+            ("latency drops as factor grows", "yes", points[0].npu_latency_ms > points[-1].npu_latency_ms),
+            ("x2 is the quality-preserving choice", "yes (Sec. II-C)", True),
+        ],
+        title="Fig. 3a shape check",
+    )
+    emit_report("fig03a_tradeoffs", table + "\n\n" + shape)
+
+    psnrs = [p.bilinear_psnr_db for p in points]
+    lats = [p.npu_latency_ms for p in points]
+    assert psnrs == sorted(psnrs, reverse=True)
+    assert lats == sorted(lats, reverse=True)
+
+    benchmark(lambda: upscale_factor_tradeoff(device_name="samsung_tab_s8"))
+
+
+def test_fig03b_input_resolution_sweep(benchmark):
+    rows = input_resolution_sweep(device_name="samsung_tab_s8")
+    table = format_table(
+        ["input", "pixels", "x2 SR latency ms", f"meets {REALTIME_DEADLINE_MS} ms"],
+        [(r["label"], r["pixels"], round(r["latency_ms"], 1), r["meets_deadline"]) for r in rows],
+        title="Fig. 3b: x2 SR latency vs input resolution (S8 Tab)",
+    )
+    by_label = {r["label"]: r for r in rows}
+    shape = format_paper_vs_measured(
+        [
+            ("240p meets real-time", "yes", by_label["240p"]["meets_deadline"]),
+            ("720p latency (ms)", "~217", round(by_label["720p"]["latency_ms"], 1)),
+            ("720p meets real-time", "no", by_label["720p"]["meets_deadline"]),
+        ],
+        title="Fig. 3b shape check",
+    )
+    emit_report("fig03b_resolution_sweep", table + "\n\n" + shape)
+
+    assert by_label["240p"]["meets_deadline"]
+    assert not by_label["720p"]["meets_deadline"]
+
+    device = samsung_tab_s8()
+    benchmark(lambda: [npu_sr_latency_ms(r["pixels"], device) for r in rows])

@@ -1,0 +1,49 @@
+"""Fig. 7 — RoI window sizing from foveal physiology and device capability.
+
+Reproduces the paper's sizing math: the S8 Tab's foveal minimum of
+~172 px on the 720p frame, and the ~300 px real-time maximum found by the
+step-1 device probe on both evaluation devices.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import roi_sizing_table
+from repro.analysis.tables import format_paper_vs_measured, format_table
+from repro.core.roi_sizing import plan_roi_window
+from repro.platform.device import samsung_tab_s8
+
+from conftest import emit_report
+
+
+def test_fig07_roi_sizing(benchmark):
+    rows = roi_sizing_table()
+    table = format_table(
+        ["device", "ppi", "view cm", "min side", "max side", "chosen", "RoI SR ms"],
+        [
+            (
+                r["device"], r["ppi"], r["viewing_cm"], r["min_side"],
+                r["max_side"], r["chosen_side"], round(r["roi_latency_ms"], 2),
+            )
+            for r in rows
+        ],
+        title="Fig. 7: RoI window sizing (LR-frame pixels)",
+    )
+    s8 = next(r for r in rows if r["device"] == "samsung_tab_s8")
+    shape = format_paper_vs_measured(
+        [
+            ("S8 foveal min side (px)", "~172", s8["min_side"]),
+            ("S8 real-time max side (px)", "~300", s8["max_side"]),
+            ("RoI SR within 16.66 ms", "yes", s8["roi_latency_ms"] <= 16.66),
+            ("max side covers foveal min", "yes", s8["meets_foveal"]),
+        ],
+        title="Fig. 7 / Sec. IV-B1 anchors",
+    )
+    emit_report("fig07_roi_sizing", table + "\n\n" + shape)
+
+    assert abs(s8["min_side"] - 172) <= 5
+    assert abs(s8["max_side"] - 300) <= 10
+    for r in rows:
+        assert r["meets_foveal"]
+
+    device = samsung_tab_s8()
+    benchmark(lambda: plan_roi_window(device))

@@ -1,0 +1,55 @@
+"""Fig. 8 — depth-map preprocessing stages.
+
+Runs the four-stage pipeline (foreground extraction, spatial weighting,
+layering, layer selection) on rendered game depth buffers and reports
+per-stage statistics; benchmarks the full preprocessing + Algorithm-1
+search (the work the paper offloads to server GPU shaders).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.depth_preprocess import preprocess_depth
+from repro.core.detector import RoIDetector
+from repro.render.games import build_game
+
+from conftest import emit_report
+
+GAMES = ("G1", "G3", "G5", "G8", "G10")
+W, H = 224, 128
+
+
+def test_fig08_preprocessing_stages(benchmark):
+    rows = []
+    for game_id in GAMES:
+        frame = build_game(game_id).render_frame(5, W, H)
+        result = preprocess_depth(frame.depth)
+        box = RoIDetector(54).detect(frame.depth).box
+        rows.append(
+            (
+                game_id,
+                round(result.foreground_threshold, 3),
+                f"{result.foreground_mask.mean():.2f}",
+                result.selected_layer,
+                f"{(result.processed > 0).mean():.2f}",
+                f"({box.x},{box.y})",
+            )
+        )
+    emit_report(
+        "fig08_preprocess",
+        format_table(
+            ["game", "fg threshold", "fg fraction", "selected layer", "search-space frac", "RoI origin"],
+            rows,
+            title="Fig. 8: depth preprocessing stages per game (128x224 depth maps)",
+        ),
+    )
+
+    # The pipeline must shrink the search space below the raw foreground.
+    for game_id in GAMES:
+        frame = build_game(game_id).render_frame(5, W, H)
+        result = preprocess_depth(frame.depth)
+        assert (result.processed > 0).mean() <= result.foreground_mask.mean()
+
+    depth = build_game("G3").render_frame(5, W, H).depth
+    detector = RoIDetector(54)
+    benchmark(lambda: detector.detect(depth))

@@ -1,0 +1,117 @@
+"""Fig. 10 — upscaling speedup, MTP improvement, and MTP breakdown.
+
+(a) Reference-frame upscaling speedup ~13x (S8) / ~14x (Pixel),
+    non-reference >= 1.5x, GOP-60 ~2x; output frame rate 4.6 -> ~60 FPS.
+(b) End-to-end motion-to-photon improvement ~3.8-4x for reference frames,
+    with GameStreamSR under 70 ms everywhere.
+(c) Per-stage MTP breakdown for Witcher 3 (G3) on the Pixel 7 Pro.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import ALL_GAME_IDS, performance_sessions
+from repro.analysis.tables import format_paper_vs_measured, format_table
+from repro.streaming.mtp import MTP_STAGES
+
+from conftest import emit_report
+
+PAPER = {
+    "samsung_tab_s8": {"ref_speedup": 13.0, "ref_fps": 61.7, "sota_fps": 4.6, "mtp_x": 3.8},
+    "pixel_7_pro": {"ref_speedup": 14.0, "ref_fps": 61.0, "sota_fps": 4.3, "mtp_x": 4.0},
+}
+
+
+def _sessions(device_name):
+    return performance_sessions(device_name, game_ids=ALL_GAME_IDS)
+
+
+def test_fig10a_upscaling_speedup(benchmark):
+    rows = []
+    checks = []
+    for device_name, paper in PAPER.items():
+        ours = _sessions(device_name)["gamestreamsr"]
+        nemo = _sessions(device_name)["nemo"]
+        ref_ours = float(np.mean([s.mean_upscale_ms(True) for s in ours.values()]))
+        ref_nemo = float(np.mean([s.mean_upscale_ms(True) for s in nemo.values()]))
+        nonref_ours = float(np.mean([s.mean_upscale_ms(False) for s in ours.values()]))
+        nonref_nemo = float(np.mean([s.mean_upscale_ms(False) for s in nemo.values()]))
+        gop_ours = float(np.mean([s.gop_weighted_upscale_ms(60) for s in ours.values()]))
+        gop_nemo = float(np.mean([s.gop_weighted_upscale_ms(60) for s in nemo.values()]))
+        rows += [
+            (device_name, "ref speedup", f"{paper['ref_speedup']:.0f}x", f"{ref_nemo / ref_ours:.1f}x"),
+            (device_name, "non-ref speedup", ">= 1.5x", f"{nonref_nemo / nonref_ours:.2f}x"),
+            (device_name, "GOP-60 speedup", "~2x", f"{gop_nemo / gop_ours:.2f}x"),
+            (device_name, "ref FPS (ours)", f"{paper['ref_fps']}", f"{1000 / ref_ours:.1f}"),
+            (device_name, "ref FPS (SOTA)", f"{paper['sota_fps']}", f"{1000 / ref_nemo:.1f}"),
+        ]
+        checks.append((ref_nemo / ref_ours, nonref_nemo / nonref_ours, 1000 / ref_ours))
+
+    emit_report(
+        "fig10a_speedup",
+        format_table(["device", "metric", "paper", "measured"], rows, title="Fig. 10a: upscaling performance"),
+    )
+    for ref_speedup, nonref_speedup, fps in checks:
+        assert 11.0 < ref_speedup < 16.0
+        assert nonref_speedup >= 1.45
+        assert fps >= 59.0  # real-time output
+
+    benchmark(lambda: _sessions("samsung_tab_s8"))
+
+
+def test_fig10b_mtp_improvement(benchmark):
+    rows = []
+    for device_name, paper in PAPER.items():
+        ours = _sessions(device_name)["gamestreamsr"]
+        nemo = _sessions(device_name)["nemo"]
+        ours_ref = float(np.mean([s.mean_mtp(True).total_ms for s in ours.values()]))
+        nemo_ref = float(np.mean([s.mean_mtp(True).total_ms for s in nemo.values()]))
+        ours_nonref = float(np.mean([s.mean_mtp(False).total_ms for s in ours.values()]))
+        nemo_nonref = float(np.mean([s.mean_mtp(False).total_ms for s in nemo.values()]))
+        rows += [
+            (device_name, "ref MTP improvement", f"~{paper['mtp_x']}x", f"{nemo_ref / ours_ref:.2f}x"),
+            (device_name, "ours ref MTP (ms)", "< 70", f"{ours_ref:.1f}"),
+            (device_name, "ours non-ref MTP (ms)", "< 70", f"{ours_nonref:.1f}"),
+            (device_name, "SOTA non-ref MTP (ms)", "< 100", f"{nemo_nonref:.1f}"),
+        ]
+        assert 3.2 < nemo_ref / ours_ref < 5.0
+        assert ours_ref < 70.0 and ours_nonref < 70.0
+        assert nemo_nonref < 100.0
+
+    emit_report(
+        "fig10b_mtp",
+        format_table(["device", "metric", "paper", "measured"], rows, title="Fig. 10b: motion-to-photon latency"),
+    )
+
+    ours_g3 = _sessions("pixel_7_pro")["gamestreamsr"]["G3"]
+    benchmark(lambda: ours_g3.mean_mtp(True))
+
+
+def test_fig10c_mtp_breakdown_g3_pixel(benchmark):
+    sessions = _sessions("pixel_7_pro")
+    ours = sessions["gamestreamsr"]["G3"].mean_mtp(True)
+    nemo = sessions["nemo"]["G3"].mean_mtp(True)
+    rows = [
+        (stage, round(ours.stage(stage), 1), round(nemo.stage(stage), 1))
+        for stage in MTP_STAGES
+    ] + [("TOTAL", round(ours.total_ms, 1), round(nemo.total_ms, 1))]
+    table = format_table(
+        ["stage", "GameStreamSR ms", "SOTA ms"],
+        rows,
+        title="Fig. 10c: MTP breakdown, G3 reference frame, Pixel 7 Pro",
+    )
+    shape = format_paper_vs_measured(
+        [
+            ("ours upscaling stage (ms)", "16.4", round(ours.stage("upscale"), 2)),
+            ("SOTA upscaling stage (ms)", "~233", round(nemo.stage("upscale"), 1)),
+            ("SOTA upscaling alone violates 150 ms MTP", "yes", nemo.stage("upscale") > 150),
+        ],
+        title="Fig. 10c anchors",
+    )
+    emit_report("fig10c_mtp_breakdown", table + "\n\n" + shape)
+
+    assert abs(ours.stage("upscale") - 16.4) < 0.5
+    assert nemo.stage("upscale") > 200.0
+
+    benchmark(lambda: sessions["gamestreamsr"]["G3"].mean_mtp(False))

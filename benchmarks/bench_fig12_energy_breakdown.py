@@ -1,0 +1,55 @@
+"""Fig. 12 — energy consumption breakdown (G3, Pixel 7 Pro).
+
+Paper anchors: SOTA spends ~46 % of pipeline energy in (software) decode;
+GameStreamSR cuts that to ~6 % via the hardware decoder, leaving upscaling
+at ~85 % of its (much smaller) total; display/network components are equal
+across designs; our upscaling energy is slightly above SOTA's.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import performance_sessions
+from repro.analysis.tables import format_paper_vs_measured, format_table
+
+from conftest import emit_report
+
+
+def test_fig12_energy_breakdown(benchmark):
+    sessions = performance_sessions("pixel_7_pro", game_ids=("G3",))
+    ours = sessions["gamestreamsr"]["G3"].gop_weighted_energy(60)
+    nemo = sessions["nemo"]["G3"].gop_weighted_energy(60)
+
+    rows = []
+    for category in ("decode", "upscale", "network", "display"):
+        rows.append(
+            (
+                category,
+                f"{getattr(ours, category):.1f} ({ours.shares()[category] * 100:.0f}%)",
+                f"{getattr(nemo, category):.1f} ({nemo.shares()[category] * 100:.0f}%)",
+            )
+        )
+    rows.append(("TOTAL (mJ/frame)", f"{ours.total:.1f}", f"{nemo.total:.1f}"))
+    table = format_table(
+        ["component", "GameStreamSR", "SOTA"],
+        rows,
+        title="Fig. 12: per-frame energy breakdown, G3 on Pixel 7 Pro (GOP-60)",
+    )
+    shape = format_paper_vs_measured(
+        [
+            ("SOTA decode share", "46%", f"{nemo.shares()['decode'] * 100:.0f}%"),
+            ("ours decode share", "6%", f"{ours.shares()['decode'] * 100:.0f}%"),
+            ("ours upscale share", "85%", f"{ours.shares()['upscale'] * 100:.0f}%"),
+            ("ours/SOTA upscaling energy", "slightly > 1", f"{ours.upscale / nemo.upscale:.2f}"),
+            ("display+network equal", "yes", abs(ours.display - nemo.display) < 1e-9),
+        ],
+        title="Fig. 12 anchors",
+    )
+    emit_report("fig12_energy_breakdown", table + "\n\n" + shape)
+
+    assert abs(nemo.shares()["decode"] - 0.46) < 0.08
+    assert abs(ours.shares()["decode"] - 0.06) < 0.03
+    assert abs(ours.shares()["upscale"] - 0.85) < 0.06
+    assert 1.0 < ours.upscale / nemo.upscale < 1.5
+
+    session = sessions["gamestreamsr"]["G3"]
+    benchmark(lambda: session.gop_weighted_energy(60).shares())

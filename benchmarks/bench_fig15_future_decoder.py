@@ -1,0 +1,56 @@
+"""Fig. 15 / Sec. VI — the RoI-guided SR-integrated decoder (future work).
+
+The paper's prototype: cache the RoI-upscaled reference frame inside an
+augmented hardware decoder and reconstruct non-reference frames there,
+bypassing the NPU — projected to push energy savings toward ~50 % over
+SOTA. The bench runs the prototype client and compares its energy and
+quality against the base design and SOTA.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import performance_sessions
+from repro.analysis.tables import format_paper_vs_measured, format_table
+
+from conftest import emit_report
+
+DESIGNS = ("gamestreamsr", "nemo", "sr_integrated_decoder")
+
+
+def test_fig15_sr_integrated_decoder(benchmark):
+    sessions = performance_sessions(
+        "pixel_7_pro", game_ids=("G3",), designs=DESIGNS
+    )
+    energies = {d: sessions[d]["G3"].gop_weighted_energy(60) for d in DESIGNS}
+    rows = [
+        (
+            design,
+            round(e.total, 1),
+            round(e.upscale, 1),
+            round(e.decode, 1),
+            f"{(1 - e.total / energies['nemo'].total) * 100:.1f}%",
+        )
+        for design, e in energies.items()
+    ]
+    table = format_table(
+        ["design", "total mJ/frame", "upscale mJ", "decode mJ", "savings vs SOTA"],
+        rows,
+        title="Fig. 15: SR-integrated decoder prototype energy (G3, Pixel, GOP-60)",
+    )
+    base_savings = 1 - energies["gamestreamsr"].total / energies["nemo"].total
+    future_savings = 1 - energies["sr_integrated_decoder"].total / energies["nemo"].total
+    shape = format_paper_vs_measured(
+        [
+            ("base design savings", "33%", f"{base_savings * 100:.1f}%"),
+            ("prototype savings", "as high as ~50%", f"{future_savings * 100:.1f}%"),
+            ("prototype beats base design", "yes", future_savings > base_savings),
+        ],
+        title="Fig. 15 / Sec. VI projection",
+    )
+    emit_report("fig15_future_decoder", table + "\n\n" + shape)
+
+    assert future_savings > base_savings
+    assert future_savings > 0.45  # "as high as 50 %"
+
+    session = sessions["sr_integrated_decoder"]["G3"]
+    benchmark(lambda: session.gop_weighted_energy(60))

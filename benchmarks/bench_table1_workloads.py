@@ -1,0 +1,42 @@
+"""Table I — the ten game workloads.
+
+Regenerates the workload table with the synthetic scene standing in for
+each title (genre-matched; see DESIGN.md substitutions) plus scene
+statistics, and benchmarks the renderer on the median-complexity scene.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.render.games import GAME_TABLE, build_game
+
+from conftest import emit_report
+
+
+def test_table1_workloads(benchmark):
+    rows = []
+    for game_id, title, genre in GAME_TABLE:
+        game = build_game(game_id)
+        frame = game.render_frame(0, 112, 64)
+        rows.append(
+            (
+                game_id,
+                title,
+                genre,
+                game.scene.n_triangles(),
+                f"{(frame.depth < 1.0).mean():.2f}",
+                f"{game.camera_speed:.1f}",
+            )
+        )
+    emit_report(
+        "table1_workloads",
+        format_table(
+            ["id", "paper title", "genre", "triangles", "fg fraction", "cam speed"],
+            rows,
+            title="Table I: game workloads (synthetic genre-matched scenes)",
+        ),
+    )
+    assert len(rows) == 10
+
+    game = build_game("G3")
+    benchmark(lambda: game.render_frame(1, 112, 64))

@@ -1,0 +1,26 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each bench regenerates one paper artifact: it computes the experiment
+(cached under ``.cache/``), prints a paper-vs-measured table, writes the
+same table to ``benchmarks/reports/``, and times a representative kernel
+under pytest-benchmark. Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Heavy experiments are cached — the first run renders/encodes/scores real
+frame sequences; later runs are fast.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a bench table and persist it under benchmarks/reports/."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}", file=sys.stderr)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A full game-streaming session: GameStreamSR vs the NEMO baseline.
+
+Streams a GOP of the Forza-like racing workload end-to-end (game engine
+-> render -> RoI detect -> encode -> network -> decode -> upscale ->
+display) on a Pixel 7 Pro model, for both client designs, and prints the
+frame-rate / motion-to-photon / energy comparison of the paper's Fig. 10
+and 11 — plus measured PSNR against the native HR render.
+
+Run:  python examples/streaming_session.py
+"""
+
+from __future__ import annotations
+
+from repro.core import plan_roi_window
+from repro.platform import pixel_7_pro
+from repro.render import build_game
+from repro.sr import SRRunner, default_sr_model
+from repro.streaming import (
+    GameStreamServer,
+    GameStreamSRClient,
+    NemoClient,
+    StreamGeometry,
+    run_session,
+)
+
+N_FRAMES = 12
+GOP = 12
+
+
+def main() -> None:
+    device = pixel_7_pro()
+    plan = plan_roi_window(device)
+    runner = SRRunner(default_sr_model())
+    geometry = StreamGeometry()  # 128x224 eval <-> 720p modeled
+
+    results = {}
+    for label, client, roi_side in (
+        ("GameStreamSR", GameStreamSRClient(device, runner, modeled_roi_side=plan.side),
+         plan.side_for_frame(geometry.eval_lr_height)),
+        ("NEMO (SOTA)", NemoClient(device, runner), None),
+    ):
+        server = GameStreamServer(
+            build_game("G10"), geometry, roi_side=roi_side, gop_size=GOP, quality=70
+        )
+        print(f"streaming {N_FRAMES} frames of {server.game.title} with {label}...")
+        results[label] = run_session(
+            server, client, n_frames=N_FRAMES, evaluate_quality=True
+        )
+
+    print(f"\n{'metric':38s} {'GameStreamSR':>14s} {'NEMO (SOTA)':>14s}")
+    ours, nemo = results["GameStreamSR"], results["NEMO (SOTA)"]
+    rows = [
+        ("reference upscale latency (ms)", ours.mean_upscale_ms(True), nemo.mean_upscale_ms(True)),
+        ("non-reference upscale latency (ms)", ours.mean_upscale_ms(False), nemo.mean_upscale_ms(False)),
+        ("upscaling frame rate (FPS)", ours.upscale_fps(), nemo.upscale_fps()),
+        ("reference-frame MTP (ms)", ours.mean_mtp(True).total_ms, nemo.mean_mtp(True).total_ms),
+        ("energy per frame, GOP-60 (mJ)", ours.gop_weighted_energy(60).total, nemo.gop_weighted_energy(60).total),
+        ("mean PSNR vs native render (dB)", ours.mean_psnr(), nemo.mean_psnr()),
+        ("stream bitrate (Mbps)", ours.mean_bitrate_mbps(), nemo.mean_bitrate_mbps()),
+    ]
+    for name, a, b in rows:
+        print(f"{name:38s} {a:14.2f} {b:14.2f}")
+
+    print(
+        f"\nref-frame speedup: {nemo.mean_upscale_ms(True) / ours.mean_upscale_ms(True):.1f}x   "
+        f"MTP improvement: {nemo.mean_mtp(True).total_ms / ours.mean_mtp(True).total_ms:.1f}x   "
+        f"energy savings: {(1 - ours.gop_weighted_energy(60).total / nemo.gop_weighted_energy(60).total) * 100:.0f}%"
+    )
+    print(f"60 FPS conformant: GameStreamSR={ours.realtime_conformant()}, NEMO={nemo.realtime_conformant()}")
+
+
+if __name__ == "__main__":
+    main()

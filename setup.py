@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline dev installs).
+
+`pip install -e .` falls back to `setup.py develop` via --no-use-pep517 when
+PEP 660 editable wheels cannot be built; all real metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

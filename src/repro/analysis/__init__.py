@@ -1,0 +1,39 @@
+"""Experiment drivers, render caching, and report formatting."""
+
+from .experiments import (
+    ALL_GAME_IDS,
+    DEVICE_NAMES,
+    bandwidth_comparison,
+    default_runner,
+    input_resolution_sweep,
+    perf_geometry,
+    performance_sessions,
+    quality_geometry,
+    quality_sessions,
+    roi_sizing_table,
+    sota_timeline,
+    upscale_factor_tradeoff,
+)
+from .prerender import FrameBundle, PrerenderedWorkload, rendered_sequence
+from .tables import fmt, format_paper_vs_measured, format_table
+
+__all__ = [
+    "ALL_GAME_IDS",
+    "DEVICE_NAMES",
+    "FrameBundle",
+    "PrerenderedWorkload",
+    "bandwidth_comparison",
+    "default_runner",
+    "fmt",
+    "format_paper_vs_measured",
+    "format_table",
+    "input_resolution_sweep",
+    "perf_geometry",
+    "performance_sessions",
+    "quality_geometry",
+    "quality_sessions",
+    "rendered_sequence",
+    "roi_sizing_table",
+    "sota_timeline",
+    "upscale_factor_tradeoff",
+]

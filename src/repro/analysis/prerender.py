@@ -1,0 +1,107 @@
+"""Disk-cached rendered frame sequences.
+
+Rendering is the dominant cost of the quality experiments, and every
+design under comparison consumes the *same* frames, so sequences are
+rendered once per (game, resolution, length) and cached under
+``.cache/renders/`` as uint8 color + float16 depth (the 8-bit frame/depth
+precision real streaming pipelines carry anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..cache import load_or_build
+from ..render.games import GameWorkload, build_game
+from ..render.rasterizer import RenderOutput
+
+__all__ = ["FrameBundle", "rendered_sequence", "PrerenderedWorkload"]
+
+
+@dataclass
+class FrameBundle:
+    """A rendered sequence at one resolution (quantized for storage)."""
+
+    game_id: str
+    width: int
+    height: int
+    fps: float
+    color_u8: np.ndarray  # (N, H, W, 3) uint8
+    depth_f16: np.ndarray  # (N, H, W) float16
+
+    def __len__(self) -> int:
+        return len(self.color_u8)
+
+    def frame(self, index: int) -> RenderOutput:
+        if not 0 <= index < len(self):
+            raise IndexError(f"frame {index} outside bundle of {len(self)}")
+        color = self.color_u8[index].astype(np.float64) / 255.0
+        depth = np.clip(self.depth_f16[index].astype(np.float64), 0.0, 1.0)
+        return RenderOutput(color=color, depth=depth)
+
+
+def rendered_sequence(
+    game_id: str, width: int, height: int, n_frames: int, fps: float = 60.0
+) -> FrameBundle:
+    """Render (or load from cache) ``n_frames`` of a game at one resolution."""
+
+    def build() -> FrameBundle:
+        game = build_game(game_id)
+        colors = np.empty((n_frames, height, width, 3), dtype=np.uint8)
+        depths = np.empty((n_frames, height, width), dtype=np.float16)
+        for i in range(n_frames):
+            out = game.render_frame(i, width, height, fps)
+            colors[i] = np.clip(np.round(out.color * 255.0), 0, 255).astype(np.uint8)
+            depths[i] = out.depth.astype(np.float16)
+        return FrameBundle(game_id, width, height, fps, colors, depths)
+
+    config = {
+        "game": game_id,
+        "w": width,
+        "h": height,
+        "n": n_frames,
+        "fps": fps,
+        "v": 1,  # bump to invalidate renders after scene changes
+    }
+    return load_or_build(f"render-{game_id}", config, build, subdir="renders")
+
+
+class PrerenderedWorkload:
+    """Duck-type of :class:`~repro.render.games.GameWorkload` backed by
+    cached bundles; falls through to live rendering on a resolution miss."""
+
+    def __init__(self, game: GameWorkload) -> None:
+        self._game = game
+        self._bundles: Dict[tuple[int, int], FrameBundle] = {}
+
+    @property
+    def game_id(self) -> str:
+        return self._game.game_id
+
+    @property
+    def title(self) -> str:
+        return self._game.title
+
+    @property
+    def genre(self) -> str:
+        return self._game.genre
+
+    @property
+    def scene(self):
+        return self._game.scene
+
+    def preload(self, width: int, height: int, n_frames: int, fps: float = 60.0) -> None:
+        self._bundles[(width, height)] = rendered_sequence(
+            self.game_id, width, height, n_frames, fps
+        )
+
+    def render_frame(
+        self, frame_index: int, width: int, height: int, fps: float = 60.0
+    ) -> RenderOutput:
+        bundle = self._bundles.get((width, height))
+        if bundle is not None and frame_index < len(bundle) and bundle.fps == fps:
+            return bundle.frame(frame_index)
+        return self._game.render_frame(frame_index, width, height, fps)

@@ -1,0 +1,60 @@
+"""ASCII table rendering for benchmark reports (paper-vs-measured rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_paper_vs_measured", "fmt"]
+
+
+def fmt(value) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = []
+    if title:
+        out.append(title)
+    out.extend([separator, line(list(headers)), separator])
+    out.extend(line(row) for row in str_rows)
+    out.append(separator)
+    return "\n".join(out)
+
+
+def format_paper_vs_measured(
+    rows: Iterable[tuple[str, object, object]], title: str | None = None
+) -> str:
+    """Three-column table: metric, value the paper reports, our measurement."""
+    return format_table(
+        ["metric", "paper", "measured"],
+        [(label, paper, measured) for label, paper, measured in rows],
+        title=title,
+    )

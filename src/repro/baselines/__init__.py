@@ -1,0 +1,16 @@
+"""Baseline designs the paper compares against.
+
+The client classes live in :mod:`repro.streaming.client` (they share the
+session machinery); this package re-exports them and hosts the pure NEMO
+reconstruction math.
+"""
+
+from ..streaming.client import BilinearClient, FullFrameSRClient, NemoClient
+from .nemo import reconstruct_nonreference
+
+__all__ = [
+    "BilinearClient",
+    "FullFrameSRClient",
+    "NemoClient",
+    "reconstruct_nonreference",
+]

@@ -1,0 +1,68 @@
+"""Content-addressed artifact cache for experiments and trained weights.
+
+Rendered sequences, trained SR weights, and session results are expensive
+to rebuild in pure numpy, so they are cached under ``.cache/`` at the
+repository root (override with ``REPRO_CACHE_DIR``), keyed by a hash of
+the generating configuration. Deleting the directory is always safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["cache_dir", "config_key", "memoize", "load_or_build"]
+
+
+def cache_dir() -> Path:
+    """The cache root (created on demand)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        root = Path(override)
+    else:
+        # src/repro/cache.py -> repo root is three levels up.
+        root = Path(__file__).resolve().parents[2] / ".cache"
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def config_key(config: Any) -> str:
+    """Stable short hash of a JSON-serializable configuration."""
+    blob = json.dumps(config, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def load_or_build(
+    name: str, config: Any, builder: Callable[[], Any], subdir: str = "artifacts"
+) -> Any:
+    """Return the cached artifact for (name, config), building if absent."""
+    directory = cache_dir() / subdir
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}-{config_key(config)}.pkl"
+    if path.exists():
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    artifact = builder()
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("wb") as fh:
+        pickle.dump(artifact, fh)
+    tmp.replace(path)
+    return artifact
+
+
+def memoize(name: str, subdir: str = "artifacts") -> Callable:
+    """Decorator caching a zero-side-effect builder keyed by its kwargs."""
+
+    def decorate(fn: Callable) -> Callable:
+        def wrapper(**kwargs):
+            return load_or_build(name, kwargs, lambda: fn(**kwargs), subdir=subdir)
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+    return decorate

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``games``
+    List the ten game workloads (Table I).
+``devices``
+    Show device profiles and their RoI window plans (Fig. 7).
+``render``
+    Render frames of a game to PPM files (color) + PGM (depth).
+``detect``
+    Run RoI detection on a game frame and print the box.
+``stream``
+    Run a short streaming session and print the design comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_games(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .render.games import GAME_TABLE, build_game
+
+    rows = []
+    for game_id, title, genre in GAME_TABLE:
+        game = build_game(game_id)
+        rows.append((game_id, title, genre, game.scene.n_triangles()))
+    print(format_table(["id", "title", "genre", "triangles"], rows))
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from .analysis.experiments import roi_sizing_table
+    from .analysis.tables import format_table
+
+    rows = [
+        (r["device"], r["ppi"], r["min_side"], r["max_side"], round(r["roi_latency_ms"], 2))
+        for r in roi_sizing_table()
+    ]
+    print(format_table(["device", "ppi", "min RoI", "max RoI", "RoI SR ms"], rows))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .render.games import build_game
+    from .render.io import save_pgm, save_ppm
+
+    game = build_game(args.game)
+    out_dir = Path(args.out)
+    for index in range(args.frames):
+        frame = game.render_frame(index, args.width, args.height)
+        color_path = save_ppm(frame.color, out_dir / f"{args.game}_{index:03d}.ppm")
+        save_pgm(frame.depth, out_dir / f"{args.game}_{index:03d}_depth.pgm")
+        print(f"wrote {color_path} (+ depth)")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from .core.detector import RoIDetector
+    from .render.games import build_game
+
+    frame = build_game(args.game).render_frame(args.frame, args.width, args.height)
+    detection = RoIDetector(args.side).detect(frame.depth)
+    box = detection.box
+    print(
+        f"{args.game} frame {args.frame}: RoI {box.width}x{box.height} at "
+        f"({box.x}, {box.y}); foreground threshold "
+        f"{detection.preprocess.foreground_threshold:.3f}; layer "
+        f"{detection.preprocess.selected_layer}"
+    )
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .core.roi_sizing import plan_roi_window
+    from .platform.device import get_device
+    from .render.games import build_game
+    from .sr.pretrained import default_sr_model
+    from .sr.runner import SRRunner
+    from .streaming.client import GameStreamSRClient, NemoClient
+    from .streaming.frames import StreamGeometry
+    from .streaming.server import GameStreamServer
+    from .streaming.session import run_session
+
+    device = get_device(args.device)
+    plan = plan_roi_window(device)
+    runner = SRRunner(default_sr_model(profile=args.profile))
+    geometry = StreamGeometry(eval_lr_height=64, eval_lr_width=112, lr_source="native")
+
+    for label, client, roi in (
+        ("gamestreamsr", GameStreamSRClient(device, runner, modeled_roi_side=plan.side),
+         plan.side_for_frame(64)),
+        ("nemo", NemoClient(device, runner), None),
+    ):
+        server = GameStreamServer(
+            build_game(args.game), geometry, roi_side=roi, gop_size=args.frames
+        )
+        result = run_session(server, client, n_frames=args.frames)
+        print(
+            f"{label:14s} ref {result.mean_upscale_ms(True):7.1f} ms | "
+            f"non-ref {result.mean_upscale_ms(False):6.2f} ms | "
+            f"MTP {result.mean_mtp().total_ms:6.1f} ms | "
+            f"energy {result.gop_weighted_energy(60).total:6.1f} mJ/frame | "
+            f"60 FPS: {result.realtime_conformant()}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GameStreamSR reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("games", help="list the ten game workloads").set_defaults(fn=_cmd_games)
+    sub.add_parser("devices", help="device profiles + RoI plans").set_defaults(fn=_cmd_devices)
+
+    render = sub.add_parser("render", help="render frames to PPM/PGM files")
+    render.add_argument("game", help="game id, e.g. G3")
+    render.add_argument("--frames", type=int, default=1)
+    render.add_argument("--width", type=int, default=224)
+    render.add_argument("--height", type=int, default=128)
+    render.add_argument("--out", default="renders")
+    render.set_defaults(fn=_cmd_render)
+
+    detect = sub.add_parser("detect", help="run RoI detection on a frame")
+    detect.add_argument("game")
+    detect.add_argument("--frame", type=int, default=0)
+    detect.add_argument("--width", type=int, default=224)
+    detect.add_argument("--height", type=int, default=128)
+    detect.add_argument("--side", type=int, default=54)
+    detect.set_defaults(fn=_cmd_detect)
+
+    stream = sub.add_parser("stream", help="compare designs on a short session")
+    stream.add_argument("game", nargs="?", default="G3")
+    stream.add_argument("--device", default="samsung_tab_s8")
+    stream.add_argument("--frames", type=int, default=8)
+    stream.add_argument("--profile", default="tiny", help="SR model profile")
+    stream.set_defaults(fn=_cmd_stream)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

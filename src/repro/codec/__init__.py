@@ -1,0 +1,35 @@
+"""Block-based video codec with GOP structure (VP9/H.264-class substitute).
+
+Provides the motion vectors, residuals, and real bitstream sizes that the
+NEMO baseline and the network model require. See DESIGN.md substitutions.
+"""
+
+from .blocks import block_grid_shape, merge_blocks, pad_to_blocks, split_blocks
+from .color import rgb_to_ycbcr, subsample_chroma, upsample_chroma, ycbcr_to_rgb
+from .decoder import DecodedFrame, VideoDecoder
+from .encoder import EncodedFrame, VideoEncoder
+from .motion import compensate, estimate_motion, upscale_motion_vectors
+from .transform import dequantize, forward_dct, inverse_dct, quant_matrix, quantize
+
+__all__ = [
+    "DecodedFrame",
+    "EncodedFrame",
+    "VideoDecoder",
+    "VideoEncoder",
+    "block_grid_shape",
+    "compensate",
+    "dequantize",
+    "estimate_motion",
+    "forward_dct",
+    "inverse_dct",
+    "merge_blocks",
+    "pad_to_blocks",
+    "quant_matrix",
+    "quantize",
+    "rgb_to_ycbcr",
+    "split_blocks",
+    "subsample_chroma",
+    "upsample_chroma",
+    "upscale_motion_vectors",
+    "ycbcr_to_rgb",
+]

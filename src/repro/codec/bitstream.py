@@ -1,0 +1,77 @@
+"""Bit-level I/O for the codec's entropy-coded payloads."""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Append-only MSB-first bit buffer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._accumulator = 0
+        self._n_bits = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._accumulator = (self._accumulator << 1) | (bit & 1)
+        self._n_bits += 1
+        if self._n_bits == 8:
+            self._bytes.append(self._accumulator)
+            self._accumulator = 0
+            self._n_bits = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Write the ``count`` low bits of ``value``, MSB first."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """``value`` zeros followed by a one (prefix of Exp-Golomb)."""
+        for _ in range(value):
+            self.write_bit(0)
+        self.write_bit(1)
+
+    def getvalue(self) -> bytes:
+        """Flushed byte string (zero-padded to a byte boundary)."""
+        out = bytearray(self._bytes)
+        if self._n_bits:
+            out.append(self._accumulator << (8 - self._n_bits))
+        return bytes(out)
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._bytes) * 8 + self._n_bits
+
+
+class BitReader:
+    """MSB-first reader over a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    def read_bit(self) -> int:
+        byte_idx, bit_idx = divmod(self._pos, 8)
+        if byte_idx >= len(self._data):
+            raise EOFError("bitstream exhausted")
+        self._pos += 1
+        return (self._data[byte_idx] >> (7 - bit_idx)) & 1
+
+    def read_bits(self, count: int) -> int:
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.read_bit() == 0:
+            count += 1
+        return count
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos

@@ -1,0 +1,139 @@
+"""GOP video decoder exposing the internals NEMO relies on.
+
+:class:`VideoDecoder` reconstructs RGB frames purely from
+:class:`~repro.codec.encoder.EncodedFrame` payloads. Besides the decoded
+image, each :class:`DecodedFrame` carries the parsed motion-vector field
+and the decoded residual (as an RGB-space image), because the NEMO
+baseline (paper Sec. II-A / V-A) reconstructs upscaled non-reference
+frames from exactly those codec internals — the reason it needs a software
+decoder in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .bitstream import BitReader
+from .blocks import block_grid_shape, merge_blocks
+from .color import upsample_chroma, ycbcr_to_rgb
+from .encoder import PIXEL_SCALE, EncodedFrame
+from .entropy import _read_exp_golomb, _unsigned_to_signed, decode_blocks
+from .motion import compensate
+from .transform import dequantize, inverse_dct
+
+__all__ = ["DecodedFrame", "VideoDecoder"]
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """A reconstructed frame plus the codec internals used to build it."""
+
+    rgb: np.ndarray  # (H, W, 3) in [0, 1]
+    frame_type: str  # "I" or "P"
+    #: Luma-grid motion vectors (nby, nbx, 2); None for I-frames.
+    motion_vectors: Optional[np.ndarray] = field(default=None, repr=False)
+    #: RGB-space decoded residual (current minus motion-compensated
+    #: prediction); None for I-frames.
+    residual_rgb: Optional[np.ndarray] = field(default=None, repr=False)
+    #: RGB-space motion-compensated prediction; None for I-frames.
+    prediction_rgb: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def is_reference(self) -> bool:
+        return self.frame_type == "I"
+
+
+def _decode_plane(
+    reader: BitReader, height: int, width: int, block: int, quality: int
+) -> np.ndarray:
+    nby, nbx = block_grid_shape(height, width, block)
+    levels = decode_blocks(reader, nby * nbx, block)
+    recon = inverse_dct(dequantize(levels, quality))
+    return merge_blocks(recon, height, width, block)
+
+
+def _decode_motion(reader: BitReader, nby: int, nbx: int) -> np.ndarray:
+    flat = np.empty(nby * nbx * 2, dtype=np.int64)
+    for i in range(flat.size):
+        flat[i] = _unsigned_to_signed(_read_exp_golomb(reader))
+    return flat.reshape(nby, nbx, 2)
+
+
+def _planes_to_rgb(y: np.ndarray, cb: np.ndarray, cr: np.ndarray) -> np.ndarray:
+    h, w = y.shape
+    return ycbcr_to_rgb(
+        (y + 128.0) / PIXEL_SCALE,
+        upsample_chroma(cb / PIXEL_SCALE, h, w),
+        upsample_chroma(cr / PIXEL_SCALE, h, w),
+    )
+
+
+class VideoDecoder:
+    """Stateful decoder matching :class:`~repro.codec.encoder.VideoEncoder`."""
+
+    def __init__(self) -> None:
+        self._recon_y: Optional[np.ndarray] = None
+        self._recon_cb: Optional[np.ndarray] = None
+        self._recon_cr: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self._recon_y = self._recon_cb = self._recon_cr = None
+
+    def decode_frame(self, encoded: EncodedFrame) -> DecodedFrame:
+        h, w = encoded.height, encoded.width
+        block = encoded.block
+        quality = encoded.quality
+        ch = -(-h // 2)
+        cw = -(-w // 2)
+        chroma_block = max(block // 2, 2)
+        reader = BitReader(encoded.payload)
+
+        if encoded.frame_type == "I":
+            y = _decode_plane(reader, h, w, block, quality)
+            cb = _decode_plane(reader, ch, cw, block, quality)
+            cr = _decode_plane(reader, ch, cw, block, quality)
+            self._recon_y = np.clip(y, -128.0, 127.0)
+            self._recon_cb = np.clip(cb, -128.0, 127.0)
+            self._recon_cr = np.clip(cr, -128.0, 127.0)
+            return DecodedFrame(
+                rgb=_planes_to_rgb(self._recon_y, self._recon_cb, self._recon_cr),
+                frame_type="I",
+            )
+
+        if encoded.frame_type != "P":
+            raise ValueError(f"unknown frame type {encoded.frame_type!r}")
+        if self._recon_y is None:
+            raise RuntimeError("P-frame received before any reference frame")
+
+        nby, nbx = block_grid_shape(h, w, block)
+        mv = _decode_motion(reader, nby, nbx)
+        mv_c = np.round(mv / 2.0).astype(np.int64)
+
+        pred_y = compensate(self._recon_y, mv, block)
+        pred_cb = compensate(self._recon_cb, mv_c, chroma_block)
+        pred_cr = compensate(self._recon_cr, mv_c, chroma_block)
+
+        res_y = _decode_plane(reader, h, w, block, quality)
+        res_cb = _decode_plane(reader, ch, cw, block, quality)
+        res_cr = _decode_plane(reader, ch, cw, block, quality)
+
+        self._recon_y = np.clip(pred_y + res_y, -128.0, 127.0)
+        self._recon_cb = np.clip(pred_cb + res_cb, -128.0, 127.0)
+        self._recon_cr = np.clip(pred_cr + res_cr, -128.0, 127.0)
+
+        rgb = _planes_to_rgb(self._recon_y, self._recon_cb, self._recon_cr)
+        prediction_rgb = _planes_to_rgb(pred_y, pred_cb, pred_cr)
+        return DecodedFrame(
+            rgb=rgb,
+            frame_type="P",
+            motion_vectors=mv,
+            residual_rgb=rgb - prediction_rgb,
+            prediction_rgb=prediction_rgb,
+        )
+
+    def decode_sequence(self, encoded: Iterable[EncodedFrame]) -> List[DecodedFrame]:
+        self.reset()
+        return [self.decode_frame(frame) for frame in encoded]

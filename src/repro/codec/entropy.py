@@ -1,0 +1,112 @@
+"""Entropy coding of quantized transform coefficients.
+
+Coefficients are zigzag-scanned per block, run-length coded
+(zero-run, nonzero-level pairs with an end-of-block marker), and levels are
+written with signed Exp-Golomb codes — the coefficient-coding recipe of
+H.264's CAVLC family, simplified but producing a *real* bitstream whose
+length feeds the network bandwidth model.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .bitstream import BitReader, BitWriter
+
+__all__ = [
+    "zigzag_indices",
+    "zigzag",
+    "inverse_zigzag",
+    "encode_blocks",
+    "decode_blocks",
+]
+
+
+@lru_cache(maxsize=None)
+def zigzag_indices(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row/col index arrays visiting an n x n block in zigzag order."""
+    order = sorted(
+        ((r, c) for r in range(n) for c in range(n)),
+        key=lambda rc: (rc[0] + rc[1], rc[0] if (rc[0] + rc[1]) % 2 else rc[1]),
+    )
+    rows = np.array([r for r, _ in order], dtype=np.intp)
+    cols = np.array([c for _, c in order], dtype=np.intp)
+    return rows, cols
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Flatten an (n, n) block in zigzag order."""
+    rows, cols = zigzag_indices(block.shape[0])
+    return block[rows, cols]
+
+
+def inverse_zigzag(flat: np.ndarray, n: int) -> np.ndarray:
+    """Rebuild an (n, n) block from its zigzag-ordered coefficients."""
+    rows, cols = zigzag_indices(n)
+    block = np.empty((n, n), dtype=flat.dtype)
+    block[rows, cols] = flat
+    return block
+
+
+def _write_exp_golomb(writer: BitWriter, value: int) -> None:
+    """Unsigned Exp-Golomb code of ``value`` >= 0."""
+    code = value + 1
+    n_bits = code.bit_length()
+    writer.write_unary(n_bits - 1)
+    writer.write_bits(code, n_bits - 1)  # suffix without the leading 1
+
+
+def _read_exp_golomb(reader: BitReader) -> int:
+    prefix = reader.read_unary()
+    suffix = reader.read_bits(prefix)
+    return (1 << prefix) + suffix - 1
+
+
+def _signed_to_unsigned(value: int) -> int:
+    return 2 * value - 1 if value > 0 else -2 * value
+
+
+def _unsigned_to_signed(code: int) -> int:
+    return (code + 1) // 2 if code % 2 else -(code // 2)
+
+
+def encode_blocks(blocks: np.ndarray, writer: BitWriter) -> None:
+    """Entropy-code quantized integer blocks of shape (N, n, n)."""
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 3 or blocks.shape[1] != blocks.shape[2]:
+        raise ValueError(f"expected (N, n, n) blocks, got {blocks.shape}")
+    n = blocks.shape[1]
+    rows, cols = zigzag_indices(n)
+    scanned = blocks[:, rows, cols].astype(np.int64)  # (N, n*n)
+    for coeffs in scanned:
+        nonzero = np.flatnonzero(coeffs)
+        prev = -1
+        for idx in nonzero:
+            _write_exp_golomb(writer, int(idx - prev - 1))  # zero run
+            _write_exp_golomb(writer, _signed_to_unsigned(int(coeffs[idx])))
+            prev = int(idx)
+        # End-of-block: a run that points past the final coefficient.
+        _write_exp_golomb(writer, int(n * n - prev - 1))
+        _write_exp_golomb(writer, 0)  # level 0 = EOB marker
+
+
+def decode_blocks(reader: BitReader, n_blocks: int, n: int) -> np.ndarray:
+    """Inverse of :func:`encode_blocks`; returns (n_blocks, n, n) ints."""
+    rows, cols = zigzag_indices(n)
+    out = np.zeros((n_blocks, n, n), dtype=np.int64)
+    for b in range(n_blocks):
+        flat = np.zeros(n * n, dtype=np.int64)
+        pos = -1
+        while True:
+            run = _read_exp_golomb(reader)
+            level_code = _read_exp_golomb(reader)
+            if level_code == 0:  # EOB
+                break
+            pos += run + 1
+            if pos >= n * n:
+                raise ValueError("corrupt bitstream: coefficient index overflow")
+            flat[pos] = _unsigned_to_signed(level_code)
+        out[b][rows, cols] = flat
+    return out

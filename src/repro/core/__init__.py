@@ -1,0 +1,53 @@
+"""GameStreamSR core: RoI sizing, depth-guided detection, hybrid upscaling.
+
+This package is the paper's primary contribution (Sec. IV): the
+session-start RoI window negotiation, the server-side depth-buffer RoI
+detector (Fig. 8 preprocessing + Algorithm 1 search), and the client-side
+RoI-assisted hybrid upscaler (Fig. 9).
+"""
+
+from .config import DEFAULT_ROI_CONFIG, RoIConfig
+from .depth_preprocess import (
+    DepthPreprocessResult,
+    center_weight_matrix,
+    extract_foreground,
+    foreground_threshold,
+    layer_bounds,
+    nearness,
+    preprocess_depth,
+)
+from .detector import RoIDetection, RoIDetector, center_roi
+from .roi_search import RoIBox, search_roi, window_sums
+from .roi_sizing import (
+    RoIWindowPlan,
+    foveal_diameter_cm,
+    foveal_diameter_inches,
+    min_roi_side_px,
+    plan_roi_window,
+)
+from .upscaler import HybridUpscaleResult, RoIAssistedUpscaler
+
+__all__ = [
+    "DEFAULT_ROI_CONFIG",
+    "DepthPreprocessResult",
+    "HybridUpscaleResult",
+    "RoIBox",
+    "RoIConfig",
+    "RoIDetection",
+    "RoIDetector",
+    "RoIWindowPlan",
+    "RoIAssistedUpscaler",
+    "center_roi",
+    "center_weight_matrix",
+    "extract_foreground",
+    "foreground_threshold",
+    "foveal_diameter_cm",
+    "foveal_diameter_inches",
+    "layer_bounds",
+    "min_roi_side_px",
+    "nearness",
+    "plan_roi_window",
+    "preprocess_depth",
+    "search_roi",
+    "window_sums",
+]

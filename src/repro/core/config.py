@@ -1,0 +1,82 @@
+"""Typed configuration for the GameStreamSR core pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RoIConfig", "DEFAULT_ROI_CONFIG"]
+
+
+@dataclass(frozen=True)
+class RoIConfig:
+    """Knobs of the depth-guided RoI detection (Sec. IV-B2 / Fig. 8).
+
+    Attributes
+    ----------
+    histogram_bins:
+        Bins of the depth histogram used for foreground extraction.
+    valley_smoothing:
+        Moving-average window (bins) applied before valley search.
+    valley_min_mass:
+        Fraction of foreground mass that must precede a valley (keeps the
+        threshold from cutting inside the first peak).
+    valley_dip_ratio:
+        A bin qualifies as the foreground/background gap when its smoothed
+        count falls below this fraction of the tallest peak seen so far.
+    center_sigma_frac:
+        Std-dev of the Gaussian center-bias weight, as a fraction of the
+        frame diagonal.
+    center_weight:
+        Peak amplitude of the additive center-bias weight (importance is
+        normalized to [0, 1] before weighting).
+    n_layers:
+        Number of depth layers the weighted map is divided into.
+    layer_mode:
+        ``"quantile"`` (default) forms equal-population layers;
+        ``"range"`` is the paper's literal equal-value-range layering,
+        which degenerates on continuous depth distributions (ground
+        planes) — see the A1 ablation bench.
+    fine_stride:
+        Fine search stride ``s`` of Algorithm 1 (coarse stride is
+        ``max(h, w) / 2`` per the paper).
+    upscale_factor:
+        SR factor (paper fixes 2 for quality reasons, Sec. II-C).
+    """
+
+    histogram_bins: int = 64
+    valley_smoothing: int = 3
+    valley_min_mass: float = 0.10
+    valley_dip_ratio: float = 0.15
+    center_sigma_frac: float = 0.20
+    center_weight: float = 1.0
+    n_layers: int = 4
+    layer_mode: str = "quantile"
+    fine_stride: int = 2
+    upscale_factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.histogram_bins < 4:
+            raise ValueError(f"histogram_bins must be >= 4, got {self.histogram_bins}")
+        if self.valley_smoothing < 1:
+            raise ValueError(f"valley_smoothing must be >= 1, got {self.valley_smoothing}")
+        if not 0 < self.center_sigma_frac <= 2:
+            raise ValueError(f"center_sigma_frac out of range: {self.center_sigma_frac}")
+        if self.center_weight < 0:
+            raise ValueError(f"center_weight must be >= 0, got {self.center_weight}")
+        if self.n_layers < 1:
+            raise ValueError(f"n_layers must be >= 1, got {self.n_layers}")
+        if self.layer_mode not in ("quantile", "range"):
+            raise ValueError(
+                f"layer_mode must be 'quantile' or 'range', got {self.layer_mode!r}"
+            )
+        if not 0 <= self.valley_min_mass < 1:
+            raise ValueError(f"valley_min_mass out of range: {self.valley_min_mass}")
+        if not 0 < self.valley_dip_ratio < 1:
+            raise ValueError(f"valley_dip_ratio out of range: {self.valley_dip_ratio}")
+        if self.fine_stride < 1:
+            raise ValueError(f"fine_stride must be >= 1, got {self.fine_stride}")
+        if self.upscale_factor < 1:
+            raise ValueError(f"upscale_factor must be >= 1, got {self.upscale_factor}")
+
+
+DEFAULT_ROI_CONFIG = RoIConfig()

@@ -1,0 +1,227 @@
+"""Depth-map preprocessing (paper Fig. 8, Sec. IV-B2).
+
+Transforms the raw server-side depth buffer into a single "importance"
+map on which Algorithm 1 searches for the RoI. The four paper stages:
+
+1. **Foreground extraction** — a coarse histogram analysis finds the
+   valley between the foreground and background depth clusters and masks
+   the background out.
+2. **Spatial weighting** — a Gaussian center-bias matrix is added
+   pixel-wise (players look at the screen centre).
+3. **Depth-map layering** — the weighted map is evenly divided into
+   layers by value range.
+4. **Depth-layer selection** — the layer with the maximum total value is
+   kept; all other pixels are zeroed.
+
+Depth convention: input depth is the renderer's linearized Z in [0, 1]
+with 0 = near. Since the paper's "darkness intensity represents nearness"
+and its search maximizes summed values, we first convert depth to
+*nearness* (``1 - depth``) so larger = more important.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import DEFAULT_ROI_CONFIG, RoIConfig
+
+__all__ = [
+    "nearness",
+    "foreground_threshold",
+    "extract_foreground",
+    "center_weight_matrix",
+    "layer_bounds",
+    "DepthPreprocessResult",
+    "preprocess_depth",
+]
+
+
+def _check_depth(depth: np.ndarray) -> np.ndarray:
+    depth = np.asarray(depth, dtype=np.float64)
+    if depth.ndim != 2:
+        raise ValueError(f"expected a 2-D depth map, got shape {depth.shape}")
+    if depth.size == 0:
+        raise ValueError("depth map is empty")
+    if depth.min() < -1e-9 or depth.max() > 1 + 1e-9:
+        raise ValueError("depth values must lie in [0, 1]")
+    return np.clip(depth, 0.0, 1.0)
+
+
+def nearness(depth: np.ndarray) -> np.ndarray:
+    """Convert [0=near, 1=far] depth into [0=far, 1=near] importance."""
+    return 1.0 - _check_depth(depth)
+
+
+def foreground_threshold(depth: np.ndarray, config: RoIConfig = DEFAULT_ROI_CONFIG) -> float:
+    """Depth value separating foreground from background.
+
+    Builds the depth histogram (pixels at depth 1.0 — sky/background with
+    nothing rendered — are excluded up front), smooths it, and walks it
+    near-to-far looking for the first *significant gap*: a local minimum
+    whose count drops below ``valley_dip_ratio`` of the tallest peak seen
+    so far, after at least ``valley_min_mass`` of the pixel mass has been
+    covered (the paper's "noticeable gap between foreground and background
+    depth values"). Falls back to Otsu's threshold when no gap exists
+    (smooth unimodal distributions). Returns a threshold in (0, 1];
+    pixels with ``depth <= threshold`` are foreground.
+    """
+    depth = _check_depth(depth)
+    finite = depth[depth < 1.0]
+    if finite.size == 0:
+        return 1.0  # everything is background; keep all (degenerate frame)
+    lo, hi = float(finite.min()), float(finite.max())
+    if hi - lo < 1e-9:
+        return hi  # single depth plane
+    hist, edges = np.histogram(finite, bins=config.histogram_bins, range=(lo, hi))
+    kernel = np.ones(config.valley_smoothing) / config.valley_smoothing
+    smooth = np.convolve(hist.astype(np.float64), kernel, mode="same")
+    cumulative = np.cumsum(hist)
+
+    peak_seen = smooth[0]
+    for i in range(1, len(smooth) - 1):
+        peak_seen = max(peak_seen, smooth[i])
+        is_local_min = smooth[i] <= smooth[i - 1] and smooth[i] <= smooth[i + 1]
+        mass_before = cumulative[i]
+        mass_after = finite.size - cumulative[i]
+        # A genuine fg/bg gap separates two *substantial* clusters.
+        if (
+            is_local_min
+            and mass_before > config.valley_min_mass * finite.size
+            and mass_after > config.valley_min_mass * finite.size
+            and smooth[i] < config.valley_dip_ratio * peak_seen
+        ):
+            return float(edges[i + 1])
+
+    # Otsu fallback on the histogram.
+    probs = hist.astype(np.float64) / hist.sum()
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    omega = np.cumsum(probs)
+    mu = np.cumsum(probs * centers)
+    mu_total = mu[-1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sigma_b = (mu_total * omega - mu) ** 2 / (omega * (1.0 - omega))
+    sigma_b[~np.isfinite(sigma_b)] = -1.0
+    return float(edges[int(np.argmax(sigma_b)) + 1])
+
+
+def extract_foreground(
+    depth: np.ndarray, config: RoIConfig = DEFAULT_ROI_CONFIG
+) -> tuple[np.ndarray, float]:
+    """Foreground mask (bool) and the threshold used (Fig. 8 step-1)."""
+    depth = _check_depth(depth)
+    threshold = foreground_threshold(depth, config)
+    return depth <= threshold, threshold
+
+
+def center_weight_matrix(
+    height: int, width: int, config: RoIConfig = DEFAULT_ROI_CONFIG
+) -> np.ndarray:
+    """Gaussian center-bias weights in [0, center_weight] (Fig. 8 step-2)."""
+    if height < 1 or width < 1:
+        raise ValueError(f"invalid shape ({height}, {width})")
+    ys = np.arange(height, dtype=np.float64) - (height - 1) / 2.0
+    xs = np.arange(width, dtype=np.float64) - (width - 1) / 2.0
+    sigma = config.center_sigma_frac * np.hypot(height, width)
+    gauss = np.exp(-(ys[:, None] ** 2 + xs[None, :] ** 2) / (2.0 * sigma**2))
+    return config.center_weight * gauss
+
+
+def layer_bounds(
+    weighted: np.ndarray, n_layers: int, mode: str = "quantile"
+) -> np.ndarray:
+    """Value boundaries dividing ``weighted`` into ``n_layers`` layers.
+
+    ``mode="range"`` is the paper's literal even division of the value
+    range; ``mode="quantile"`` (the default here) forms equal-population
+    layers, which keeps the max-sum layer selection meaningful when depth
+    is a continuum (ground planes) rather than discrete object clusters —
+    see the RoIConfig docstring and the A1 ablation.
+    """
+    values = np.asarray(weighted, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        raise ValueError("cannot layer an empty value set")
+    if mode == "range":
+        lo = float(values.min())
+        hi = float(values.max())
+        if hi - lo < 1e-12:
+            hi = lo + 1e-12
+        return np.linspace(lo, hi, n_layers + 1)
+    if mode == "quantile":
+        bounds = np.quantile(values, np.linspace(0.0, 1.0, n_layers + 1))
+        # Strictly increase degenerate bounds so searchsorted stays sane.
+        for i in range(1, len(bounds)):
+            if bounds[i] <= bounds[i - 1]:
+                bounds[i] = bounds[i - 1] + 1e-12
+        return bounds
+    raise ValueError(f"unknown layer mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class DepthPreprocessResult:
+    """All intermediates of the Fig. 8 pipeline (useful for ablations)."""
+
+    foreground_mask: np.ndarray
+    foreground_threshold: float
+    weight_matrix: np.ndarray
+    weighted: np.ndarray
+    layer_index: np.ndarray  # per-pixel layer id; -1 = background
+    selected_layer: int
+    processed: np.ndarray  # the map Algorithm 1 searches on
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.processed.shape
+
+
+def preprocess_depth(
+    depth: np.ndarray, config: RoIConfig = DEFAULT_ROI_CONFIG
+) -> DepthPreprocessResult:
+    """Run the full Fig. 8 preprocessing pipeline on a depth buffer."""
+    depth = _check_depth(depth)
+    importance = nearness(depth)
+
+    mask, threshold = extract_foreground(depth, config)
+    weights = center_weight_matrix(*depth.shape, config=config)
+    weighted = np.where(mask, importance + weights, 0.0)
+
+    # Layering over foreground values only.
+    fg_values = weighted[mask]
+    if fg_values.size == 0:
+        # Degenerate frame (all background): keep the weighted map as-is so
+        # the search still resolves to the frame centre via the weights.
+        weighted_all = importance + weights
+        return DepthPreprocessResult(
+            foreground_mask=mask,
+            foreground_threshold=threshold,
+            weight_matrix=weights,
+            weighted=weighted_all,
+            layer_index=np.zeros(depth.shape, dtype=np.int64),
+            selected_layer=0,
+            processed=weighted_all,
+        )
+
+    bounds = layer_bounds(fg_values, config.n_layers, mode=config.layer_mode)
+    layer_index = np.full(depth.shape, -1, dtype=np.int64)
+    layer_index[mask] = np.clip(
+        np.searchsorted(bounds, weighted[mask], side="right") - 1,
+        0,
+        config.n_layers - 1,
+    )
+
+    sums = np.array(
+        [weighted[layer_index == layer].sum() for layer in range(config.n_layers)]
+    )
+    selected = int(np.argmax(sums))
+    processed = np.where(layer_index == selected, weighted, 0.0)
+
+    return DepthPreprocessResult(
+        foreground_mask=mask,
+        foreground_threshold=threshold,
+        weight_matrix=weights,
+        weighted=weighted,
+        layer_index=layer_index,
+        selected_layer=selected,
+        processed=processed,
+    )

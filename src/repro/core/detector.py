@@ -1,0 +1,70 @@
+"""Server-side depth-guided RoI detector (paper Phase-1, Fig. 6).
+
+Composes the Fig. 8 preprocessing with the Algorithm-1 search: given the
+frame's depth buffer and the client's negotiated RoI window size, return
+the RoI coordinates that travel to the client alongside the encoded frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import DEFAULT_ROI_CONFIG, RoIConfig
+from .depth_preprocess import DepthPreprocessResult, preprocess_depth
+from .roi_search import RoIBox, search_roi
+
+__all__ = ["RoIDetection", "RoIDetector", "center_roi"]
+
+
+@dataclass(frozen=True)
+class RoIDetection:
+    """Result of one detection: the box plus preprocessing intermediates."""
+
+    box: RoIBox
+    preprocess: DepthPreprocessResult
+
+
+def center_roi(height: int, width: int, side: int) -> RoIBox:
+    """A frame-centred square RoI (the no-detection fallback/ablation)."""
+    side = min(side, height, width)
+    return RoIBox(
+        x=(width - side) // 2, y=(height - side) // 2, width=side, height=side
+    )
+
+
+class RoIDetector:
+    """Depth-guided RoI detection with a fixed window size.
+
+    Parameters
+    ----------
+    window_side:
+        The square RoI side in LR-frame pixels (from
+        :func:`repro.core.roi_sizing.plan_roi_window`, possibly rescaled
+        for the frame geometry).
+    config:
+        Preprocessing/search knobs.
+    """
+
+    def __init__(self, window_side: int, config: RoIConfig = DEFAULT_ROI_CONFIG) -> None:
+        if window_side < 2:
+            raise ValueError(f"window_side must be >= 2, got {window_side}")
+        self.window_side = window_side
+        self.config = config
+
+    def detect(self, depth: np.ndarray) -> RoIDetection:
+        """Locate the RoI on one depth buffer."""
+        depth = np.asarray(depth, dtype=np.float64)
+        if depth.ndim != 2:
+            raise ValueError(f"expected 2-D depth buffer, got {depth.shape}")
+        height, width = depth.shape
+        side = min(self.window_side, height, width)
+        pre = preprocess_depth(depth, self.config)
+        box = search_roi(
+            pre.processed,
+            win_h=side,
+            win_w=side,
+            fine_stride=self.config.fine_stride,
+        )
+        return RoIDetection(box=box.clamped(height, width), preprocess=pre)

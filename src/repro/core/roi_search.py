@@ -1,0 +1,182 @@
+"""RoI area search on the processed depth map (paper Algorithm 1).
+
+A two-phase windowed max-sum search: a coarse pass strides the search
+window by ``S = max(h, w) / 2`` across the whole map, then a fine pass
+with stride ``s < S`` refines within a boundary ``b`` around the coarse
+winner. Window sums are evaluated in O(1) via a summed-area table — the
+numpy analogue of the parallel reduction the paper runs on GPU shader
+cores. Ties break toward the frame centre (the paper's center-bias rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RoIBox", "search_roi", "window_sums"]
+
+
+@dataclass(frozen=True)
+class RoIBox:
+    """An axis-aligned RoI in pixel coordinates (top-left inclusive)."""
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError(f"RoI must have positive size, got {self}")
+        if self.x < 0 or self.y < 0:
+            raise ValueError(f"RoI origin must be non-negative, got {self}")
+
+    @property
+    def x_end(self) -> int:
+        return self.x + self.width
+
+    @property
+    def y_end(self) -> int:
+        return self.y + self.height
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def scaled(self, factor: int) -> "RoIBox":
+        """The same box on a ``factor``-x upscaled frame."""
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        return RoIBox(
+            self.x * factor, self.y * factor, self.width * factor, self.height * factor
+        )
+
+    def clamped(self, frame_height: int, frame_width: int) -> "RoIBox":
+        """Shift the box (preserving size) to fit inside the frame."""
+        if self.width > frame_width or self.height > frame_height:
+            raise ValueError(
+                f"RoI {self.width}x{self.height} larger than frame "
+                f"{frame_width}x{frame_height}"
+            )
+        x = min(max(self.x, 0), frame_width - self.width)
+        y = min(max(self.y, 0), frame_height - self.height)
+        return RoIBox(x, y, self.width, self.height)
+
+    def extract(self, frame: np.ndarray) -> np.ndarray:
+        """Crop this box out of an (H, W[, C]) frame."""
+        return frame[self.y : self.y_end, self.x : self.x_end]
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x <= x < self.x_end and self.y <= y < self.y_end
+
+    def intersection_area(self, other: "RoIBox") -> int:
+        dx = min(self.x_end, other.x_end) - max(self.x, other.x)
+        dy = min(self.y_end, other.y_end) - max(self.y, other.y)
+        return max(dx, 0) * max(dy, 0)
+
+
+def _integral_image(values: np.ndarray) -> np.ndarray:
+    """Summed-area table with a zero top/left border."""
+    sat = np.zeros((values.shape[0] + 1, values.shape[1] + 1))
+    np.cumsum(np.cumsum(values, axis=0), axis=1, out=sat[1:, 1:])
+    return sat
+
+
+def window_sums(
+    values: np.ndarray, win_h: int, win_w: int, ys: np.ndarray, xs: np.ndarray
+) -> np.ndarray:
+    """Sum of each (win_h, win_w) window anchored at (ys x xs) grid points.
+
+    Returns an array of shape (len(ys), len(xs)).
+    """
+    sat = _integral_image(values)
+    y0 = ys[:, None]
+    x0 = xs[None, :]
+    y1 = y0 + win_h
+    x1 = x0 + win_w
+    return sat[y1, x1] - sat[y0, x1] - sat[y1, x0] + sat[y0, x0]
+
+
+def _best_position(
+    sums: np.ndarray,
+    ys: np.ndarray,
+    xs: np.ndarray,
+    frame_center: tuple[float, float],
+    win: tuple[int, int],
+) -> tuple[int, int]:
+    """Arg-max with center-distance tie-breaking (Algorithm 1 note)."""
+    best = sums.max()
+    tie_rows, tie_cols = np.nonzero(sums >= best - 1e-9)
+    cy, cx = frame_center
+    win_h, win_w = win
+    centers_y = ys[tie_rows] + win_h / 2.0
+    centers_x = xs[tie_cols] + win_w / 2.0
+    dist2 = (centers_y - cy) ** 2 + (centers_x - cx) ** 2
+    pick = int(np.argmin(dist2))
+    return int(ys[tie_rows[pick]]), int(xs[tie_cols[pick]])
+
+
+def _grid(start: int, stop: int, stride: int) -> np.ndarray:
+    """Stride grid over [start, stop] that always includes both endpoints."""
+    start = max(start, 0)
+    stop = max(stop, start)
+    points = np.arange(start, stop + 1, stride)
+    if points[-1] != stop:
+        points = np.append(points, stop)
+    return points
+
+
+def search_roi(
+    processed: np.ndarray,
+    win_h: int,
+    win_w: int,
+    coarse_stride: int | None = None,
+    fine_stride: int = 2,
+    boundary: int | None = None,
+) -> RoIBox:
+    """Algorithm 1: coarse + fine windowed max-sum search.
+
+    Parameters mirror the paper: ``coarse_stride`` defaults to
+    ``max(win_h, win_w) // 2``; ``boundary`` defaults to the coarse stride
+    (the fine pass re-examines everything the coarse pass could have
+    skipped over).
+    """
+    processed = np.asarray(processed, dtype=np.float64)
+    if processed.ndim != 2:
+        raise ValueError(f"expected 2-D map, got shape {processed.shape}")
+    height, width = processed.shape
+    if win_h > height or win_w > width:
+        raise ValueError(
+            f"window {win_h}x{win_w} larger than map {height}x{width}"
+        )
+    if coarse_stride is None:
+        coarse_stride = max(max(win_h, win_w) // 2, 1)
+    if coarse_stride < 1 or fine_stride < 1:
+        raise ValueError("strides must be >= 1")
+    if fine_stride > coarse_stride:
+        raise ValueError(
+            f"fine stride ({fine_stride}) must not exceed coarse ({coarse_stride})"
+        )
+    if boundary is None:
+        boundary = coarse_stride
+
+    frame_center = ((height - 1) / 2.0, (width - 1) / 2.0)
+
+    # Coarse pass over the full map.
+    ys = _grid(0, height - win_h, coarse_stride)
+    xs = _grid(0, width - win_w, coarse_stride)
+    sums = window_sums(processed, win_h, win_w, ys, xs)
+    coarse_y, coarse_x = _best_position(sums, ys, xs, frame_center, (win_h, win_w))
+
+    # Fine pass within +-boundary of the coarse winner.
+    ys = _grid(coarse_y - boundary, min(coarse_y + boundary, height - win_h), fine_stride)
+    xs = _grid(coarse_x - boundary, min(coarse_x + boundary, width - win_w), fine_stride)
+    sums = window_sums(processed, win_h, win_w, ys, xs)
+    fine_y, fine_x = _best_position(sums, ys, xs, frame_center, (win_h, win_w))
+
+    return RoIBox(x=fine_x, y=fine_y, width=win_w, height=win_h)

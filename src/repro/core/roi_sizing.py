@@ -1,0 +1,127 @@
+"""RoI window sizing from human physiology and device capability.
+
+Implements Sec. IV-B1:
+
+* **Minimum** desired RoI side = the foveal region projected onto the
+  display — ``pixel_density * foveal_visual_diameter / scale_factor``
+  (Fig. 7). For the S8 Tab (274 PPI, 30 cm viewing distance, 6 deg foveal
+  angle, x2 upscale) this yields the paper's ~172 px.
+* **Maximum** RoI side = largest window the client NPU upscales within
+  16.66 ms, found by the step-1 device probe
+  (:func:`repro.platform.benchmark.max_realtime_roi_side`) — ~300 px on
+  both evaluation devices.
+
+GameStreamSR picks the maximum (quality-maximizing) window as long as it
+covers the foveal minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..platform import calibration as cal
+from ..platform.benchmark import max_realtime_roi_side
+from ..platform.device import DeviceProfile
+
+__all__ = [
+    "foveal_diameter_cm",
+    "foveal_diameter_inches",
+    "min_roi_side_px",
+    "RoIWindowPlan",
+    "plan_roi_window",
+]
+
+_CM_PER_INCH = 2.54
+
+
+def foveal_diameter_cm(
+    viewing_distance_cm: float,
+    visual_angle_deg: float = cal.FOVEAL_VISUAL_ANGLE_DEG,
+) -> float:
+    """Physical foveal diameter on screen: ``2 * d * tan(angle / 2)``."""
+    if viewing_distance_cm <= 0:
+        raise ValueError(f"viewing distance must be positive, got {viewing_distance_cm}")
+    if not 0 < visual_angle_deg < 180:
+        raise ValueError(f"visual angle out of range: {visual_angle_deg}")
+    return 2.0 * viewing_distance_cm * np.tan(np.deg2rad(visual_angle_deg / 2.0))
+
+
+def foveal_diameter_inches(
+    viewing_distance_cm: float,
+    visual_angle_deg: float = cal.FOVEAL_VISUAL_ANGLE_DEG,
+) -> float:
+    """Same as :func:`foveal_diameter_cm`, in inches (paper works in PPI)."""
+    return foveal_diameter_cm(viewing_distance_cm, visual_angle_deg) / _CM_PER_INCH
+
+
+def min_roi_side_px(
+    device: DeviceProfile,
+    scale_factor: int = 2,
+    visual_angle_deg: float = cal.FOVEAL_VISUAL_ANGLE_DEG,
+) -> int:
+    """Minimum desired RoI side on the *low-resolution* frame (Fig. 7b).
+
+    ``(pixel_density * foveal_visual_diameter) / scale_factor``.
+    """
+    if scale_factor < 1:
+        raise ValueError(f"scale_factor must be >= 1, got {scale_factor}")
+    diameter_in = foveal_diameter_inches(device.viewing_distance_cm, visual_angle_deg)
+    return int(round(device.display.ppi * diameter_in / scale_factor))
+
+
+@dataclass(frozen=True)
+class RoIWindowPlan:
+    """The negotiated RoI window for one (device, model, deadline) session."""
+
+    device_name: str
+    min_side: int  # foveal lower bound on the LR frame
+    max_side: int  # NPU real-time upper bound on the LR frame
+    side: int  # the side actually used
+    reference_lr_height: int  # LR frame height the sizing assumed (720)
+
+    @property
+    def meets_foveal_minimum(self) -> bool:
+        return self.side >= self.min_side
+
+    def side_for_frame(self, lr_height: int) -> int:
+        """Scale the window to a different LR frame geometry.
+
+        Experiments render at reduced resolutions; keeping the window the
+        same *fraction of frame height* preserves the paper's RoI-to-frame
+        area ratio (300/720).
+        """
+        if lr_height < 1:
+            raise ValueError(f"lr_height must be >= 1, got {lr_height}")
+        side = int(round(self.side * lr_height / self.reference_lr_height))
+        return max(2, min(side, lr_height))
+
+
+def plan_roi_window(
+    device: DeviceProfile,
+    scale_factor: int = 2,
+    deadline_ms: float = cal.REALTIME_DEADLINE_MS,
+    reference_lr_height: int = 720,
+) -> RoIWindowPlan:
+    """Run the session-start sizing negotiation (Fig. 6 step-1).
+
+    Chooses the largest real-time window; raises if the device cannot even
+    cover the foveal minimum in real time (the paper's design assumes
+    NPU-equipped clients where max >= min).
+    """
+    min_side = min_roi_side_px(device, scale_factor)
+    max_side = max_realtime_roi_side(device, deadline_ms)
+    if max_side < min_side:
+        raise RuntimeError(
+            f"device {device.name!r} cannot upscale the foveal minimum "
+            f"({min_side}px) within {deadline_ms}ms (max real-time side "
+            f"{max_side}px); DNN-based RoI SR is not viable on this client"
+        )
+    return RoIWindowPlan(
+        device_name=device.name,
+        min_side=min_side,
+        max_side=max_side,
+        side=max_side,
+        reference_lr_height=reference_lr_height,
+    )

@@ -1,0 +1,132 @@
+"""Perceptual image distance — an LPIPS surrogate (paper Fig. 14b).
+
+The paper reports LPIPS (Zhang et al. 2018): deep features are extracted at
+several layers, unit-normalized along the channel axis, differenced, and
+spatially averaged. Real LPIPS needs pretrained AlexNet/VGG weights, which
+are unavailable offline, so this module implements the *same recipe* over a
+deterministic handcrafted backbone:
+
+* a fixed bank of oriented Gabor/derivative/center-surround filters
+  (biologically-motivated V1-style features) applied at three dyadic scales
+  of a luma+opponent-color decomposition;
+* per-location unit normalization of the feature vector (the LPIPS trick
+  that makes the metric sensitive to structure rather than contrast);
+* mean squared feature difference, averaged over locations and scales.
+
+The returned distance lives in [0, ~1] with 0 = identical, exactly like
+LPIPS, and preserves the property the paper's evaluation relies on:
+detail loss from repeated bilinear interpolation scores visibly worse
+(higher) than DNN-restored detail. The substitution is documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import convolve
+
+__all__ = ["lpips", "PERCEPTIBLE_LPIPS_DIFFERENCE", "feature_stack"]
+
+#: LPIPS difference the paper cites (Hou et al. 2022) as visibly discernible.
+PERCEPTIBLE_LPIPS_DIFFERENCE = 0.15
+
+_FILTER_SIZE = 7
+_N_SCALES = 3
+
+
+def _gabor(size: int, theta: float, wavelength: float, sigma: float) -> np.ndarray:
+    half = size // 2
+    ys, xs = np.mgrid[-half : half + 1, -half : half + 1].astype(np.float64)
+    xr = xs * np.cos(theta) + ys * np.sin(theta)
+    yr = -xs * np.sin(theta) + ys * np.cos(theta)
+    envelope = np.exp(-(xr**2 + yr**2) / (2 * sigma**2))
+    carrier = np.cos(2 * np.pi * xr / wavelength)
+    kernel = envelope * carrier
+    return kernel - kernel.mean()
+
+
+def _dog(size: int, sigma1: float, sigma2: float) -> np.ndarray:
+    half = size // 2
+    ys, xs = np.mgrid[-half : half + 1, -half : half + 1].astype(np.float64)
+    r2 = xs**2 + ys**2
+    g1 = np.exp(-r2 / (2 * sigma1**2)) / sigma1**2
+    g2 = np.exp(-r2 / (2 * sigma2**2)) / sigma2**2
+    kernel = g1 - g2
+    return kernel - kernel.mean()
+
+
+def _build_filter_bank() -> np.ndarray:
+    """Fixed (K, F, F) filter bank: 8 oriented Gabors + 2 center-surround."""
+    filters = []
+    for theta in (0.0, np.pi / 4, np.pi / 2, 3 * np.pi / 4):
+        for wavelength in (3.0, 6.0):
+            filters.append(_gabor(_FILTER_SIZE, theta, wavelength, sigma=2.0))
+    filters.append(_dog(_FILTER_SIZE, 1.0, 2.0))
+    filters.append(_dog(_FILTER_SIZE, 1.5, 3.0))
+    bank = np.stack(filters)
+    # L2-normalize each filter so channels contribute comparably.
+    norms = np.sqrt((bank**2).sum(axis=(1, 2), keepdims=True))
+    return bank / norms
+
+
+_BANK = _build_filter_bank()
+
+
+def _opponent_channels(image: np.ndarray) -> np.ndarray:
+    """Decompose into luma + two opponent-color channels, shape (3, H, W)."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        zeros = np.zeros_like(image)
+        return np.stack([image, zeros, zeros])
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W) or (H, W, 3) image, got {image.shape}")
+    r, g, b = image[..., 0], image[..., 1], image[..., 2]
+    luma = 0.299 * r + 0.587 * g + 0.114 * b
+    rg = (r - g) / 2.0
+    by = (b - (r + g) / 2.0) / 2.0
+    return np.stack([luma, rg, by])
+
+
+def _downsample2(image: np.ndarray) -> np.ndarray:
+    """2x2 average-pool downsample of a (C, H, W) stack."""
+    c, h, w = image.shape
+    h2, w2 = h - h % 2, w - w % 2
+    trimmed = image[:, :h2, :w2]
+    return trimmed.reshape(c, h2 // 2, 2, w2 // 2, 2).mean(axis=(2, 4))
+
+
+def feature_stack(image: np.ndarray, scale: int) -> np.ndarray:
+    """Extract the (K*, H', W') normalized feature stack at one dyadic scale."""
+    channels = _opponent_channels(image)
+    for _ in range(scale):
+        channels = _downsample2(channels)
+    maps = [
+        convolve(chan, kernel, mode="nearest")
+        for chan in channels
+        for kernel in _BANK
+    ]
+    feats = np.stack(maps)  # (3*K, H', W')
+    norms = np.sqrt((feats**2).sum(axis=0, keepdims=True)) + 1e-8
+    return feats / norms
+
+
+def lpips(reference: np.ndarray, test: np.ndarray) -> float:
+    """Perceptual distance in [0, ~1]; lower means more similar.
+
+    Both images must share a shape and lie (approximately) in [0, 1].
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {test.shape}")
+    if min(reference.shape[:2]) < _FILTER_SIZE * 2**_N_SCALES:
+        raise ValueError(
+            f"image {reference.shape[:2]} too small for {_N_SCALES}-scale "
+            f"analysis with {_FILTER_SIZE}x{_FILTER_SIZE} filters"
+        )
+    total = 0.0
+    for scale in range(_N_SCALES):
+        fa = feature_stack(reference, scale)
+        fb = feature_stack(test, scale)
+        total += float(((fa - fb) ** 2).sum(axis=0).mean())
+    return total / _N_SCALES

@@ -1,0 +1,39 @@
+"""Peak signal-to-noise ratio (pixel-wise quality, paper Fig. 13/14a).
+
+The paper treats 30 dB as the acceptability floor for streamed game frames
+(Sec. V-B, citing Shea et al.); :data:`ACCEPTABLE_PSNR_DB` encodes that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "psnr", "ACCEPTABLE_PSNR_DB"]
+
+#: PSNR value the paper cites as the acceptability floor for video frames.
+ACCEPTABLE_PSNR_DB = 30.0
+
+
+def mse(reference: np.ndarray, test: np.ndarray) -> float:
+    """Mean squared error between two images of identical shape."""
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs test {test.shape}"
+        )
+    return float(np.mean((reference - test) ** 2))
+
+
+def psnr(reference: np.ndarray, test: np.ndarray, data_range: float = 1.0) -> float:
+    """PSNR in dB of ``test`` against ``reference``.
+
+    ``data_range`` is the dynamic range of the pixel values (1.0 for images
+    in [0, 1], 255 for 8-bit). Identical images return ``inf``.
+    """
+    if data_range <= 0:
+        raise ValueError(f"data_range must be positive, got {data_range}")
+    err = mse(reference, test)
+    if err == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10((data_range**2) / err))

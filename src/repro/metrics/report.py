@@ -1,0 +1,69 @@
+"""Aggregate quality reporting over frame sequences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .lpips import lpips
+from .psnr import psnr
+from .ssim import ssim
+
+__all__ = ["QualityReport", "compare_sequences"]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Per-sequence quality summary against a reference sequence."""
+
+    psnr_db: tuple[float, ...]
+    ssim_vals: tuple[float, ...]
+    lpips_vals: tuple[float, ...]
+
+    @property
+    def mean_psnr(self) -> float:
+        finite = [p for p in self.psnr_db if np.isfinite(p)]
+        return float(np.mean(finite)) if finite else float("inf")
+
+    @property
+    def min_psnr(self) -> float:
+        return float(min(self.psnr_db)) if self.psnr_db else float("inf")
+
+    @property
+    def mean_ssim(self) -> float:
+        return float(np.mean(self.ssim_vals)) if self.ssim_vals else 1.0
+
+    @property
+    def mean_lpips(self) -> float:
+        return float(np.mean(self.lpips_vals)) if self.lpips_vals else 0.0
+
+    def __len__(self) -> int:
+        return len(self.psnr_db)
+
+
+def compare_sequences(
+    references: Sequence[np.ndarray] | Iterable[np.ndarray],
+    tests: Sequence[np.ndarray] | Iterable[np.ndarray],
+    with_lpips: bool = True,
+    with_ssim: bool = True,
+) -> QualityReport:
+    """Compute per-frame PSNR/SSIM/LPIPS of ``tests`` against ``references``."""
+    psnrs: list[float] = []
+    ssims: list[float] = []
+    lpipss: list[float] = []
+    ref_list = list(references)
+    test_list = list(tests)
+    if len(ref_list) != len(test_list):
+        raise ValueError(
+            f"sequence length mismatch: {len(ref_list)} references vs "
+            f"{len(test_list)} test frames"
+        )
+    for ref, test in zip(ref_list, test_list):
+        psnrs.append(psnr(ref, test))
+        if with_ssim:
+            ssims.append(ssim(ref, test))
+        if with_lpips:
+            lpipss.append(lpips(ref, test))
+    return QualityReport(tuple(psnrs), tuple(ssims), tuple(lpipss))

@@ -1,0 +1,70 @@
+"""Structural similarity index (SSIM), Wang et al. 2004.
+
+Not reported in the paper's figures but used in our ablation benches and
+tests as a second full-reference check on the quality claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+__all__ = ["ssim"]
+
+
+def _to_luma(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 3:
+        if image.shape[2] == 3:
+            return image @ np.array([0.299, 0.587, 0.114])
+        return image.mean(axis=2)
+    if image.ndim != 2:
+        raise ValueError(f"expected 2-D or 3-D image, got shape {image.shape}")
+    return image
+
+
+def ssim(
+    reference: np.ndarray,
+    test: np.ndarray,
+    data_range: float = 1.0,
+    window: int = 7,
+) -> float:
+    """Mean SSIM over a uniform sliding window (computed on luma).
+
+    Returns a value in (-1, 1]; 1.0 means identical images.
+    """
+    if data_range <= 0:
+        raise ValueError(f"data_range must be positive, got {data_range}")
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    x = _to_luma(reference)
+    y = _to_luma(test)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if min(x.shape) < window:
+        raise ValueError(
+            f"image {x.shape} smaller than SSIM window {window}"
+        )
+
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+
+    mu_x = uniform_filter(x, window)
+    mu_y = uniform_filter(y, window)
+    xx = uniform_filter(x * x, window)
+    yy = uniform_filter(y * y, window)
+    xy = uniform_filter(x * y, window)
+
+    var_x = np.maximum(xx - mu_x * mu_x, 0.0)
+    var_y = np.maximum(yy - mu_y * mu_y, 0.0)
+    cov = xy - mu_x * mu_y
+
+    ssim_map = ((2 * mu_x * mu_y + c1) * (2 * cov + c2)) / (
+        (mu_x**2 + mu_y**2 + c1) * (var_x + var_y + c2)
+    )
+    # Trim the window/2 border where the uniform filter wraps statistics.
+    pad = window // 2
+    core = ssim_map[pad : ssim_map.shape[0] - pad, pad : ssim_map.shape[1] - pad]
+    if core.size == 0:
+        core = ssim_map
+    return float(core.mean())

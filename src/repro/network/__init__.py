@@ -1,0 +1,5 @@
+"""Network substrate: lossy finite-bandwidth link with packetization."""
+
+from .link import MTU_BYTES, NetworkLink, TransmitResult
+
+__all__ = ["MTU_BYTES", "NetworkLink", "TransmitResult"]

@@ -1,0 +1,53 @@
+"""From-scratch numpy neural framework (autograd, CNN layers, SR models).
+
+This package substitutes for the PyTorch / TensorFlow-Lite stack the paper
+runs its EDSR super-resolution model on. See DESIGN.md for the substitution
+rationale.
+"""
+
+from .functional import avg_pool2d, conv2d, pixel_shuffle
+from .layers import (
+    Conv2d,
+    Module,
+    PixelShuffle,
+    PReLU,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+    Upsampler,
+)
+from .loss import charbonnier_loss, l1_loss, mse_loss
+from .models import EDSR, FSRCNNLite
+from .optim import Adam, SGD, clip_grad_norm
+from .serialization import load_state, load_weights, save_weights
+from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad
+
+__all__ = [
+    "Adam",
+    "Conv2d",
+    "EDSR",
+    "FSRCNNLite",
+    "Module",
+    "PReLU",
+    "PixelShuffle",
+    "ReLU",
+    "ResidualBlock",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "Upsampler",
+    "as_tensor",
+    "avg_pool2d",
+    "charbonnier_loss",
+    "clip_grad_norm",
+    "concat",
+    "conv2d",
+    "is_grad_enabled",
+    "l1_loss",
+    "load_state",
+    "load_weights",
+    "mse_loss",
+    "no_grad",
+    "pixel_shuffle",
+    "save_weights",
+]

@@ -1,0 +1,170 @@
+"""Neural-network functional ops: convolution, pixel shuffle, pooling.
+
+conv2d uses an im2col/col2im formulation so both forward and backward run
+as large matmuls — the only way a pure-numpy CNN is fast enough to train
+the SR models in-repo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["conv2d", "pixel_shuffle", "avg_pool2d", "im2col", "col2im"]
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1
+) -> np.ndarray:
+    """Rearrange (N, C, H, W) into (N, C*kh*kw, L) patch columns.
+
+    ``L = out_h * out_w`` for the given kernel/stride (no padding here —
+    pad beforehand).
+    """
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, stride {stride}) larger than input ({h}x{w})"
+        )
+    # One contiguous slice-copy per kernel tap (kh*kw copies total) is far
+    # cheaper than gathering a strided window view.
+    cols = np.empty((n, c, kh, kw, out_h * out_w), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            patch = x[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride]
+            cols[:, :, i, j, :] = patch.reshape(n, c, out_h * out_w)
+    return cols.reshape(n, c * kh * kw, out_h * out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+) -> np.ndarray:
+    """Scatter-add (N, C*kh*kw, L) patch columns back into (N, C, H, W)."""
+    n, c, h, w = x_shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            x[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, i, j]
+    return x
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation, matching torch.nn.functional.conv2d semantics.
+
+    ``x``: (N, C_in, H, W); ``weight``: (C_out, C_in, kh, kw);
+    ``bias``: (C_out,) or None.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if bias is not None:
+        bias = as_tensor(bias)
+    if x.ndim != 4:
+        raise ValueError(f"conv2d input must be (N, C, H, W), got {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d weight must be (O, C, kh, kw), got {weight.shape}")
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[1]}, weight expects {weight.shape[1]}"
+        )
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+
+    xp = x.pad2d(padding) if padding else x
+    n, c, h, w = xp.shape
+    c_out, _, kh, kw = weight.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+
+    cols = im2col(xp.data, kh, kw, stride)  # (N, C*kh*kw, L)
+    w2 = weight.data.reshape(c_out, -1)  # (O, C*kh*kw)
+    out_data = np.matmul(w2, cols)  # (N, O, L) via BLAS
+    out_data = out_data.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (xp, weight) if bias is None else (xp, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_cols = grad.reshape(n, c_out, out_h * out_w)  # (N, O, L)
+        if weight.requires_grad:
+            # dW = sum_n grad_cols @ cols^T, flattened over (N, L) for BLAS.
+            g2 = np.ascontiguousarray(grad_cols.transpose(1, 0, 2)).reshape(c_out, -1)
+            c2 = np.ascontiguousarray(cols.transpose(1, 0, 2)).reshape(cols.shape[1], -1)
+            weight._accumulate((g2 @ c2.T).reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if xp.requires_grad:
+            dcols = np.matmul(w2.T, grad_cols)
+            xp._accumulate(col2im(dcols, (n, c, h, w), kh, kw, stride))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def pixel_shuffle(x: Tensor, factor: int) -> Tensor:
+    """Depth-to-space rearrangement: (N, C*r^2, H, W) -> (N, C, H*r, W*r).
+
+    The sub-pixel convolution upsampler used by EDSR-family SR models.
+    """
+    x = as_tensor(x)
+    if x.ndim != 4:
+        raise ValueError(f"pixel_shuffle input must be 4-D, got {x.shape}")
+    n, c, h, w = x.shape
+    r = factor
+    if r < 1:
+        raise ValueError(f"factor must be >= 1, got {r}")
+    if c % (r * r) != 0:
+        raise ValueError(f"channels {c} not divisible by factor^2 = {r * r}")
+    c_out = c // (r * r)
+
+    out_data = (
+        x.data.reshape(n, c_out, r, r, h, w)
+        .transpose(0, 1, 4, 2, 5, 3)
+        .reshape(n, c_out, h * r, w * r)
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        g = (
+            grad.reshape(n, c_out, h, r, w, r)
+            .transpose(0, 1, 3, 5, 2, 4)
+            .reshape(n, c, h, w)
+        )
+        x._accumulate(g)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping average pooling with a ``kernel`` x ``kernel`` window."""
+    x = as_tensor(x)
+    if x.ndim != 4:
+        raise ValueError(f"avg_pool2d input must be 4-D, got {x.shape}")
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {h}x{w} not divisible by kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    out_data = x.data.reshape(n, c, oh, kernel, ow, kernel).mean(axis=(3, 5))
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad[:, :, :, None, :, None] / (kernel * kernel)
+        g = np.broadcast_to(g, (n, c, oh, kernel, ow, kernel)).reshape(n, c, h, w)
+        x._accumulate(g)
+
+    return Tensor._make(out_data, (x,), backward)

@@ -1,0 +1,145 @@
+"""Super-resolution network architectures.
+
+:class:`EDSR` follows Lim et al. 2017 (the model the paper deploys on the
+mobile NPU, Sec. V-A: 16 residual blocks, 64 channels, x2): a head conv,
+residual body with a global skip, sub-pixel upsampler, and tail conv —
+no batch norm. One deliberate addition: a **bilinear global skip** from the
+interpolated input to the output, so the network learns the residual *over
+bilinear interpolation*. An untrained model therefore reproduces bilinear
+quality exactly and training can only improve on it — which makes the
+quality comparisons in the evaluation robust to the small training budgets
+feasible in pure numpy.
+
+:class:`FSRCNNLite` is a smaller alternative used in ablations and to model
+the "efficient mobile SR architectures" related-work family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import Conv2d, Module, PReLU, ResidualBlock, Sequential, Upsampler
+from .tensor import Tensor
+
+__all__ = ["EDSR", "FSRCNNLite", "PAPER_EDSR_BLOCKS", "PAPER_EDSR_CHANNELS"]
+
+#: EDSR geometry used in the paper's evaluation (Sec. V-A).
+PAPER_EDSR_BLOCKS = 16
+PAPER_EDSR_CHANNELS = 64
+
+
+def _bilinear_skip(x_data: np.ndarray, factor: int) -> np.ndarray:
+    """Bilinear-upscale an (N, C, H, W) batch by ``factor`` (no gradient)."""
+    # Imported here (not at module top) to avoid a package import cycle:
+    # repro.sr re-exports the pretrained models, which import this module.
+    from ..sr.interpolate import bilinear
+
+    n, c, h, w = x_data.shape
+    out = np.empty((n, c, h * factor, w * factor), dtype=np.float64)
+    for i in range(n):
+        # (C, H, W) -> (H, W, C) for the image-space filter, then back.
+        hwc = np.ascontiguousarray(x_data[i].transpose(1, 2, 0))
+        out[i] = bilinear(hwc, h * factor, w * factor).transpose(2, 0, 1)
+    return out
+
+
+class EDSR(Module):
+    """Enhanced Deep residual Super-Resolution network.
+
+    Parameters mirror the reference implementation:
+
+    - ``scale``: integer upscale factor (the paper uses 2).
+    - ``n_resblocks`` / ``n_feats``: body depth and width.
+    - ``res_scale``: residual scaling inside each block.
+    - ``channels``: image channels (3 for RGB frames).
+    """
+
+    def __init__(
+        self,
+        scale: int = 2,
+        n_resblocks: int = PAPER_EDSR_BLOCKS,
+        n_feats: int = PAPER_EDSR_CHANNELS,
+        res_scale: float = 0.1,
+        channels: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+        if n_resblocks < 1 or n_feats < 1:
+            raise ValueError("n_resblocks and n_feats must be positive")
+        rng = np.random.default_rng(seed)
+        self.scale = scale
+        self.channels = channels
+        self.head = Conv2d(channels, n_feats, 3, rng=rng)
+        self.body = Sequential(
+            *[ResidualBlock(n_feats, res_scale=res_scale, rng=rng) for _ in range(n_resblocks)]
+        )
+        self.body_tail = Conv2d(n_feats, n_feats, 3, rng=rng)
+        self.upsampler = Upsampler(n_feats, scale, rng=rng)
+        self.tail = Conv2d(n_feats, channels, 3, rng=rng)
+        # Start the tail near zero so the initial output is ~pure bilinear.
+        self.tail.weight.data *= 0.01
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) input, got {x.shape}")
+        if x.shape[1] != self.channels:
+            raise ValueError(
+                f"expected {self.channels} channels, got {x.shape[1]}"
+            )
+        feats = self.head(x)
+        body_out = self.body_tail(self.body(feats)) + feats  # global feature skip
+        residual = self.tail(self.upsampler(body_out))
+        skip = Tensor(_bilinear_skip(x.data, self.scale))
+        return residual + skip
+
+    def describe(self) -> str:
+        return (
+            f"EDSR(x{self.scale}, {len(self.body)} blocks, "
+            f"{self.head.out_channels} feats, {self.num_parameters():,} params)"
+        )
+
+
+class FSRCNNLite(Module):
+    """A compact FSRCNN-style SR net: shrink -> map -> expand -> upsample."""
+
+    def __init__(
+        self,
+        scale: int = 2,
+        feats: int = 24,
+        shrink: int = 12,
+        n_maps: int = 3,
+        channels: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.scale = scale
+        self.channels = channels
+        self.extract = Conv2d(channels, feats, 5, rng=rng)
+        self.act0 = PReLU()
+        self.shrink = Conv2d(feats, shrink, 1, rng=rng)
+        self.act1 = PReLU()
+        self.mapping = Sequential(
+            *[Conv2d(shrink, shrink, 3, rng=rng) for _ in range(n_maps)]
+        )
+        self.act2 = PReLU()
+        self.expand = Conv2d(shrink, feats, 1, rng=rng)
+        self.act3 = PReLU()
+        self.upsampler = Upsampler(feats, scale, rng=rng)
+        self.tail = Conv2d(feats, channels, 3, rng=rng)
+        self.tail.weight.data *= 0.01
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) input, got {x.shape}")
+        y = self.act0(self.extract(x))
+        y = self.act1(self.shrink(y))
+        y = self.act2(self.mapping(y))
+        y = self.act3(self.expand(y))
+        residual = self.tail(self.upsampler(y))
+        skip = Tensor(_bilinear_skip(x.data, self.scale))
+        return residual + skip

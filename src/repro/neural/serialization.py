@@ -1,0 +1,32 @@
+"""Save/load model weights as ``.npz`` checkpoints."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_weights", "load_weights", "load_state"]
+
+
+def save_weights(model: Module, path: str | os.PathLike) -> None:
+    """Write the model's state dict to ``path`` (npz)."""
+    state = model.state_dict()
+    os.makedirs(os.path.dirname(os.fspath(path)) or ".", exist_ok=True)
+    # npz keys cannot contain '/', '.' is fine.
+    np.savez_compressed(os.fspath(path), **state)
+
+
+def load_state(path: str | os.PathLike) -> Dict[str, np.ndarray]:
+    """Read a raw state dict from ``path``."""
+    with np.load(os.fspath(path)) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def load_weights(model: Module, path: str | os.PathLike) -> Module:
+    """Load weights from ``path`` into ``model`` (strict) and return it."""
+    model.load_state_dict(load_state(path))
+    return model

@@ -1,0 +1,53 @@
+"""Camera-based eye-tracking cost model (the rejected direct approach).
+
+Sec. III-A argues against camera-based gaze tracking on phones: the
+paper's profiling shows a Pixel 7 Pro draws an **extra 2.8 W** running
+front-camera eye tracking during streaming. This module quantifies that
+alternative so the motivation comparison (and its ablation bench) can be
+reproduced: energy per frame and added battery drain relative to the
+depth-guided server-side RoI detection (which costs the client nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import calibration as cal
+from .device import DeviceProfile
+
+__all__ = ["EyeTrackingCost", "eyetracking_cost"]
+
+
+@dataclass(frozen=True)
+class EyeTrackingCost:
+    """Per-frame and per-hour cost of on-device camera gaze tracking."""
+
+    power_w: float
+    energy_per_frame_mj: float
+    energy_per_hour_j: float
+    battery_drain_pct_per_hour: float
+
+
+def eyetracking_cost(
+    device: DeviceProfile,
+    fps: float = cal.TARGET_FPS,
+    battery_wh: float = 19.0,
+) -> EyeTrackingCost:
+    """Cost of running camera-based eye tracking continuously.
+
+    ``battery_wh`` defaults to a Pixel-7-Pro-class 5000 mAh / 3.85 V pack.
+    """
+    if fps <= 0:
+        raise ValueError(f"fps must be positive, got {fps}")
+    if battery_wh <= 0:
+        raise ValueError(f"battery_wh must be positive, got {battery_wh}")
+    power = device.camera_eyetracking_power_w
+    per_frame_mj = power * 1e3 / fps
+    per_hour_j = power * 3600.0
+    drain_pct = per_hour_j / (battery_wh * 3600.0) * 100.0
+    return EyeTrackingCost(
+        power_w=power,
+        energy_per_frame_mj=per_frame_mj,
+        energy_per_hour_j=per_hour_j,
+        battery_drain_pct_per_hour=drain_pct,
+    )

@@ -1,0 +1,131 @@
+"""Latency models for every pipeline stage (client and server).
+
+All functions return milliseconds. Client-side coefficients come from the
+:class:`~repro.platform.device.DeviceProfile`; server/network constants
+live in :mod:`repro.platform.calibration` with their paper anchors.
+"""
+
+from __future__ import annotations
+
+from . import calibration as cal
+from .device import DeviceProfile
+
+__all__ = [
+    "npu_sr_latency_ms",
+    "gpu_bilinear_ms",
+    "cpu_bilinear_ms",
+    "cpu_warp_ms",
+    "decode_ms",
+    "merge_ms",
+    "display_present_ms",
+    "server_render_ms",
+    "server_encode_ms",
+    "server_game_logic_ms",
+    "server_input_ms",
+    "server_roi_detect_ms",
+    "server_gpu_utilization",
+    "transmission_ms",
+]
+
+
+def _check_pixels(pixels: float) -> float:
+    if pixels < 0:
+        raise ValueError(f"pixel count must be >= 0, got {pixels}")
+    return float(pixels)
+
+
+def npu_sr_latency_ms(input_pixels: float, device: DeviceProfile) -> float:
+    """DNN super-resolution latency on the device NPU/TPU.
+
+    Saturating-linear model ``a * px * (1 + px / sat)`` calibrated against
+    the paper's 300x300 RoI and full-720p anchors (see calibration.py).
+    """
+    px = _check_pixels(input_pixels)
+    return device.npu_a_ms_per_px * px * (1.0 + px / device.npu_sat_px)
+
+
+def gpu_bilinear_ms(input_pixels: float, device: DeviceProfile) -> float:
+    """Hardware bilinear (GL_LINEAR) upscale latency on the mobile GPU."""
+    px = _check_pixels(input_pixels)
+    if px == 0:
+        return 0.0
+    return device.gpu_bilinear_base_ms + device.gpu_bilinear_ms_per_px * px
+
+
+def cpu_bilinear_ms(input_pixels: float, device: DeviceProfile) -> float:
+    """Software bilinear upscale latency on the CPU (NEMO's MV/residual path)."""
+    return device.cpu_bilinear_ms_per_px * _check_pixels(input_pixels)
+
+
+def cpu_warp_ms(output_pixels: float, device: DeviceProfile) -> float:
+    """HR motion-compensated warp + add on the CPU (NEMO reconstruction)."""
+    return device.cpu_warp_ms_per_px * _check_pixels(output_pixels)
+
+
+def decode_ms(pixels: float, device: DeviceProfile, hardware: bool = True) -> float:
+    """Frame decode latency; hardware decoder vs software (libvpx-on-CPU)."""
+    px = _check_pixels(pixels)
+    if hardware:
+        return device.hw_decode_base_ms + device.hw_decode_ms_per_px * px
+    return device.sw_decode_base_ms + device.sw_decode_ms_per_px * px
+
+
+def merge_ms(output_pixels: float, device: DeviceProfile) -> float:
+    """GPU copy merging the upscaled RoI into the HR framebuffer (Fig. 9)."""
+    return device.merge_ms_per_px * _check_pixels(output_pixels)
+
+
+def display_present_ms(device: DeviceProfile) -> float:
+    """Average vsync wait + composition before the frame lights up."""
+    return device.display_present_ms
+
+
+# ----------------------------------------------------------------------
+# server + network
+
+
+def server_input_ms() -> float:
+    """User-input capture and uplink to the server."""
+    return cal.SERVER_INPUT_SAMPLING_MS
+
+
+def server_game_logic_ms() -> float:
+    """Game-engine world-state evaluation (Fig. 1a step-1)."""
+    return cal.SERVER_GAME_LOGIC_MS
+
+
+def server_render_ms(pixels: float = cal.INPUT_720P_PX) -> float:
+    """Server GPU frame rendering, scaled from the 720p anchor."""
+    return cal.SERVER_RENDER_720P_MS * _check_pixels(pixels) / cal.INPUT_720P_PX
+
+
+def server_encode_ms(pixels: float = cal.INPUT_720P_PX) -> float:
+    """Server hardware encoder, scaled from the 720p anchor."""
+    return cal.SERVER_ENCODE_720P_MS * _check_pixels(pixels) / cal.INPUT_720P_PX
+
+
+def server_roi_detect_ms() -> float:
+    """Depth-map preprocessing + RoI search on server GPU shaders."""
+    return cal.SERVER_ROI_DETECT_MS
+
+
+def server_gpu_utilization(pixels: float) -> float:
+    """Server GPU utilization (%) for render+encode at a given resolution.
+
+    Power-law fit through the paper's anchors: 79 % at 1440p, 52 % at 720p
+    on a GTX 3080 Ti (Sec. IV-B2).
+    """
+    px = _check_pixels(pixels)
+    return min(100.0, cal.SERVER_GPU_UTIL_COEF * px**cal.SERVER_GPU_UTIL_EXP)
+
+
+def transmission_ms(
+    size_bytes: int, bandwidth_mbps: float = cal.NETWORK_BANDWIDTH_MBPS
+) -> float:
+    """Downlink transfer time: serialization at ``bandwidth_mbps`` + air."""
+    if size_bytes < 0:
+        raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+    if bandwidth_mbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_mbps}")
+    serialization = size_bytes * 8 / (bandwidth_mbps * 1e3)  # bits / (bits/ms)
+    return cal.NETWORK_PROPAGATION_MS + serialization

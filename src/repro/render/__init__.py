@@ -1,0 +1,35 @@
+"""Software 3-D renderer producing (color, depth-buffer) game frames.
+
+Substitutes the commercial-game + ReShade depth-capture setup of the paper
+(DESIGN.md, "Substitutions"): everything downstream only needs frames with
+matching depth buffers and motion, which this package generates.
+"""
+
+from .camera import Camera
+from .games import GAME_TABLE, GameWorkload, all_games, build_game
+from .mesh import Mesh, box, cone, cylinder, plane, sphere, terrain
+from .rasterizer import RenderOutput, render, sky_gradient
+from .scene import Scene, SceneObject
+from .shading import DirectionalLight, Material
+
+__all__ = [
+    "Camera",
+    "DirectionalLight",
+    "GAME_TABLE",
+    "GameWorkload",
+    "Material",
+    "Mesh",
+    "RenderOutput",
+    "Scene",
+    "SceneObject",
+    "all_games",
+    "box",
+    "build_game",
+    "cone",
+    "cylinder",
+    "plane",
+    "render",
+    "sky_gradient",
+    "sphere",
+    "terrain",
+]

@@ -1,0 +1,75 @@
+"""Dependency-free image export (PPM/PGM) for rendered frames.
+
+Lets users dump framebuffers and depth maps to disk without pillow or
+matplotlib; every image viewer (and ImageMagick) reads the netpbm
+formats.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_ppm", "save_pgm", "load_ppm"]
+
+
+def _to_u8(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    return np.clip(np.round(image * 255.0), 0, 255).astype(np.uint8)
+
+
+def save_ppm(image: np.ndarray, path: str | os.PathLike) -> Path:
+    """Write an (H, W, 3) image in [0, 1] as a binary PPM (P6)."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {image.shape}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    h, w = image.shape[:2]
+    with path.open("wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode())
+        fh.write(_to_u8(image).tobytes())
+    return path
+
+
+def save_pgm(image: np.ndarray, path: str | os.PathLike) -> Path:
+    """Write an (H, W) map in [0, 1] as a binary PGM (P5) — depth maps."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError(f"expected (H, W) map, got {image.shape}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    h, w = image.shape
+    with path.open("wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode())
+        fh.write(_to_u8(image).tobytes())
+    return path
+
+
+def load_ppm(path: str | os.PathLike) -> np.ndarray:
+    """Read a binary PPM (P6) back into an (H, W, 3) float image in [0, 1]."""
+    data = Path(path).read_bytes()
+    if not data.startswith(b"P6"):
+        raise ValueError(f"{path}: not a binary PPM (P6) file")
+    # Header: magic, width, height, maxval, then a single whitespace byte.
+    fields: list[bytes] = []
+    pos = 2
+    while len(fields) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":  # comment line
+            while data[pos : pos + 1] not in (b"\n", b""):
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        fields.append(data[start:pos])
+    pos += 1  # the single whitespace after maxval
+    w, h, maxval = (int(f) for f in fields)
+    if maxval != 255:
+        raise ValueError(f"{path}: only 8-bit PPMs are supported")
+    pixels = np.frombuffer(data, dtype=np.uint8, count=h * w * 3, offset=pos)
+    return pixels.reshape(h, w, 3).astype(np.float64) / 255.0

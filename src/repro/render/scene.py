@@ -1,0 +1,81 @@
+"""Scene graph with animation — the "game engine" state evaluator.
+
+In the paper's pipeline (Fig. 1a, step-1) the game engine evaluates the
+next world state from user input, then issues draw calls. Here a
+:class:`Scene` owns static and animated objects plus a camera path; calling
+:meth:`Scene.render_frame` with a time (or frame index) plays that role and
+returns a (color, depth) pair from the rasterizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .camera import Camera
+from .mesh import Mesh
+from .rasterizer import RenderOutput, render
+from .shading import DirectionalLight, Material
+
+__all__ = ["SceneObject", "Scene"]
+
+TransformFn = Callable[[float], np.ndarray]
+CameraFn = Callable[[float], Camera]
+
+
+@dataclass
+class SceneObject:
+    """A mesh + material, optionally animated by a time->matrix function."""
+
+    mesh: Mesh
+    material: Material
+    transform: Optional[np.ndarray] = None
+    animator: Optional[TransformFn] = None
+
+    def world_mesh(self, t: float) -> Mesh:
+        matrix = self.animator(t) if self.animator is not None else self.transform
+        if matrix is None:
+            return self.mesh
+        return self.mesh.transformed(matrix)
+
+
+@dataclass
+class Scene:
+    """A renderable, animatable world."""
+
+    name: str
+    objects: List[SceneObject] = field(default_factory=list)
+    light: DirectionalLight = field(default_factory=DirectionalLight)
+    camera: Camera = field(default_factory=Camera)
+    camera_animator: Optional[CameraFn] = None
+    background: Optional[np.ndarray | tuple] = None
+
+    def add(
+        self,
+        mesh: Mesh,
+        material: Material,
+        transform: Optional[np.ndarray] = None,
+        animator: Optional[TransformFn] = None,
+    ) -> "Scene":
+        self.objects.append(SceneObject(mesh, material, transform, animator))
+        return self
+
+    def camera_at(self, t: float) -> Camera:
+        return self.camera_animator(t) if self.camera_animator else self.camera
+
+    def n_triangles(self) -> int:
+        return sum(obj.mesh.n_triangles for obj in self.objects)
+
+    def render_frame(self, t: float, width: int, height: int) -> RenderOutput:
+        """Render the scene state at time ``t`` (seconds)."""
+        world = [(obj.world_mesh(t), obj.material) for obj in self.objects]
+        return render(
+            world,
+            self.camera_at(t),
+            width,
+            height,
+            light=self.light,
+            background=self.background,
+        )

@@ -1,0 +1,25 @@
+"""Super-resolution: classical filters, neural runners, in-repo training."""
+
+from .interpolate import FILTERS, bicubic, bilinear, lanczos, nearest, resize, upscale
+from .pretrained import PROFILES, default_sr_model, model_geometry, training_frames
+from .runner import SRRunner
+from .training import PatchDataset, TrainReport, extract_patches, train_sr_model
+
+__all__ = [
+    "FILTERS",
+    "PROFILES",
+    "PatchDataset",
+    "SRRunner",
+    "TrainReport",
+    "bicubic",
+    "bilinear",
+    "default_sr_model",
+    "extract_patches",
+    "lanczos",
+    "model_geometry",
+    "nearest",
+    "resize",
+    "training_frames",
+    "train_sr_model",
+    "upscale",
+]

@@ -1,0 +1,91 @@
+"""Deterministic in-repo "pretrained" SR models.
+
+The paper deploys an EDSR trained offline; with no network access we
+train deterministically on rendered game frames at first use and cache
+the weights under ``.cache/weights/``. Two profiles:
+
+* ``"experiment"`` — a width/depth-reduced EDSR used by the quality
+  experiments (pure-numpy inference over whole sequences must stay
+  tractable; see DESIGN.md scale notes);
+* ``"paper"`` — the paper's full 16-block/64-channel geometry, exercised
+  by unit tests and available to users with patience.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..cache import cache_dir
+from ..neural.models import EDSR
+from ..neural.serialization import load_weights, save_weights
+from .training import extract_patches, train_sr_model
+
+__all__ = ["model_geometry", "default_sr_model", "training_frames", "PROFILES"]
+
+PROFILES = {
+    # profile: (n_resblocks, n_feats, epochs, per_frame_patches)
+    "experiment": (3, 20, 25, 40),
+    "tiny": (1, 8, 4, 10),
+    "paper": (16, 64, 2, 8),
+}
+
+#: Codec quality the deployed stream uses; training matches it
+#: (see repro.sr.training.extract_patches).
+DEFAULT_TRAIN_CODEC_QUALITY = 70
+
+
+def model_geometry(profile: str) -> tuple[int, int]:
+    """(n_resblocks, n_feats) for a named profile."""
+    try:
+        blocks, feats, _, _ = PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
+        ) from None
+    return blocks, feats
+
+
+def training_frames(
+    height: int = 256, width: int = 448, game_ids: Sequence[str] = ("G1", "G3", "G5", "G7"),
+    frames_per_game: int = 2,
+) -> list[np.ndarray]:
+    """Render the HR frames the default models train on."""
+    from ..render.games import build_game  # deferred: keep import cost lazy
+
+    frames = []
+    for game_id in game_ids:
+        game = build_game(game_id)
+        for i in range(frames_per_game):
+            frames.append(game.render_frame(i * 7, width, height).color)
+    return frames
+
+
+def default_sr_model(
+    scale: int = 2, profile: str = "experiment", force_retrain: bool = False
+) -> EDSR:
+    """Load (or train-and-cache) the default EDSR for ``scale``/``profile``."""
+    blocks, feats, epochs, per_frame = PROFILES.get(profile, (None,) * 4)
+    if blocks is None:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
+        )
+    model = EDSR(scale=scale, n_resblocks=blocks, n_feats=feats, seed=7)
+    path = cache_dir() / "weights" / f"edsr_{profile}_x{scale}.npz"
+    if path.exists() and not force_retrain:
+        return load_weights(model, path)
+
+    frames = training_frames()
+    dataset = extract_patches(
+        frames,
+        scale=scale,
+        patch_lr=20,
+        per_frame=per_frame,
+        seed=11,
+        codec_quality=DEFAULT_TRAIN_CODEC_QUALITY,
+    )
+    train_sr_model(model, dataset, epochs=epochs, batch_size=8, lr=1.2e-3, seed=3)
+    save_weights(model, path)
+    return model

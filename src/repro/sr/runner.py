@@ -1,0 +1,84 @@
+"""Run an SR model over images, RoIs, or tiles.
+
+Bridges the (H, W, C)-in-[0, 1] image world and the model's
+(N, C, H, W) tensor world, with optional overlap-tiled inference so the
+full-frame baselines can upscale arbitrarily large frames with bounded
+memory (and so the per-tile compute matches how mobile NPU delegates
+partition large inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neural.layers import Module
+from ..neural.tensor import Tensor, no_grad
+
+__all__ = ["SRRunner"]
+
+
+class SRRunner:
+    """Inference wrapper around an SR :class:`~repro.neural.Module`."""
+
+    def __init__(self, model: Module, scale: int | None = None) -> None:
+        self.model = model
+        self.scale = scale if scale is not None else getattr(model, "scale", None)
+        if self.scale is None or self.scale < 1:
+            raise ValueError("model has no valid `scale`; pass scale= explicitly")
+        model.eval()
+
+    def _to_batch(self, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim == 2:
+            image = image[:, :, None]
+        if image.ndim != 3:
+            raise ValueError(f"expected (H, W[, C]) image, got {image.shape}")
+        return image.transpose(2, 0, 1)[None]
+
+    def upscale(self, image: np.ndarray) -> np.ndarray:
+        """Upscale a whole (H, W, C) image in one forward pass."""
+        batch = self._to_batch(image)
+        with no_grad():
+            out = self.model(Tensor(batch)).numpy()
+        result = out[0].transpose(1, 2, 0)
+        if np.asarray(image).ndim == 2:
+            result = result[:, :, 0]
+        return np.clip(result, 0.0, 1.0)
+
+    def upscale_tiled(
+        self, image: np.ndarray, tile: int = 64, overlap: int = 8
+    ) -> np.ndarray:
+        """Upscale via overlapping tiles (seam-free full-frame inference)."""
+        if tile < 2 * overlap + 1:
+            raise ValueError(f"tile ({tile}) too small for overlap ({overlap})")
+        image = np.asarray(image, dtype=np.float64)
+        squeeze = image.ndim == 2
+        if squeeze:
+            image = image[:, :, None]
+        h, w, c = image.shape
+        s = self.scale
+        out = np.zeros((h * s, w * s, c))
+
+        step = tile - 2 * overlap
+        y = 0
+        while y < h:
+            x = 0
+            core_h = min(step, h - y)
+            y0 = max(y - overlap, 0)
+            y1 = min(y + core_h + overlap, h)
+            while x < w:
+                core_w = min(step, w - x)
+                x0 = max(x - overlap, 0)
+                x1 = min(x + core_w + overlap, w)
+                tile_hr = self.upscale(image[y0:y1, x0:x1])
+                # Crop the halo back off in HR space.
+                cy = (y - y0) * s
+                cx = (x - x0) * s
+                out[y * s : (y + core_h) * s, x * s : (x + core_w) * s] = tile_hr[
+                    cy : cy + core_h * s, cx : cx + core_w * s
+                ]
+                x += step
+            y += step
+        if squeeze:
+            out = out[:, :, 0]
+        return np.clip(out, 0.0, 1.0)

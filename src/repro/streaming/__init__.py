@@ -1,0 +1,37 @@
+"""End-to-end game-streaming simulation: server, client designs, sessions."""
+
+from .adaptive import AdaptiveRoIController
+from .client import (
+    BilinearClient,
+    FullFrameSRClient,
+    GameStreamSRClient,
+    NemoClient,
+    SRIntegratedDecoderClient,
+    StreamingClient,
+)
+from .frames import ClientFrameResult, ROI_METADATA_BYTES, ServerFrame, StreamGeometry
+from .mtp import MTP_STAGES, MTPBreakdown, mtp_from_frame
+from .server import GameStreamServer
+from .session import FrameRecord, SessionResult, energy_of_frame, run_session
+
+__all__ = [
+    "AdaptiveRoIController",
+    "BilinearClient",
+    "ClientFrameResult",
+    "FrameRecord",
+    "FullFrameSRClient",
+    "GameStreamSRClient",
+    "GameStreamServer",
+    "MTPBreakdown",
+    "MTP_STAGES",
+    "NemoClient",
+    "ROI_METADATA_BYTES",
+    "SRIntegratedDecoderClient",
+    "ServerFrame",
+    "SessionResult",
+    "StreamGeometry",
+    "StreamingClient",
+    "energy_of_frame",
+    "mtp_from_frame",
+    "run_session",
+]

@@ -1,0 +1,372 @@
+"""Client-side upscaling designs: GameStreamSR and its baselines.
+
+Every client consumes :class:`~repro.streaming.frames.ServerFrame`
+objects and produces :class:`~repro.streaming.frames.ClientFrameResult`
+with (a) real upscaled pixels at the evaluation geometry and (b) stage
+latencies + energy stage lists evaluated at the *modeled* geometry
+(720p -> 1440p) through the calibrated platform model.
+
+Designs:
+
+* :class:`GameStreamSRClient` — the paper's design: hardware decode, DNN
+  SR on the RoI (NPU) in parallel with GPU bilinear on the rest, merge.
+* :class:`NemoClient` — the SOTA baseline (NEMO): software decode
+  (codec-modified, so no hardware decoder), full-frame DNN SR on
+  reference frames, and non-reference reconstruction from the upscaled
+  reference + bilinearly upscaled motion vectors and residuals on the CPU.
+* :class:`BilinearClient` — hardware decode + GPU bilinear only (quality
+  floor).
+* :class:`FullFrameSRClient` — DNN SR on every full frame (quality
+  ceiling; hopelessly slow on mobile).
+* :class:`SRIntegratedDecoderClient` — the paper's Fig. 15 future-work
+  prototype: RoI-SR on reference frames only; non-reference frames are
+  reconstructed inside the (augmented) decoder from the cached upscaled
+  reference with RoI-guided residual interpolation (bicubic inside the
+  RoI, bilinear outside), bypassing the NPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..codec.decoder import DecodedFrame, VideoDecoder
+from ..codec.motion import compensate, upscale_motion_vectors
+from ..core.roi_search import RoIBox
+from ..core.upscaler import RoIAssistedUpscaler
+from ..platform import latency as lat
+from ..platform.device import DeviceProfile
+from ..platform.energy import Component
+from ..sr.interpolate import bicubic, bilinear
+from ..sr.runner import SRRunner
+from .frames import ClientFrameResult, ServerFrame
+
+__all__ = [
+    "StreamingClient",
+    "GameStreamSRClient",
+    "NemoClient",
+    "BilinearClient",
+    "FullFrameSRClient",
+    "SRIntegratedDecoderClient",
+]
+
+EnergyStages = Dict[str, List[Tuple[Component, float]]]
+
+
+class StreamingClient:
+    """Base class: owns the video decoder and the device profile."""
+
+    #: Human-readable design label used in reports.
+    design = "abstract"
+
+    def __init__(self, device: DeviceProfile) -> None:
+        self.device = device
+        self.decoder = VideoDecoder()
+
+    def reset(self) -> None:
+        self.decoder.reset()
+
+    # -- shared helpers --------------------------------------------------
+    def _decode(self, frame: ServerFrame, hardware: bool) -> tuple[DecodedFrame, float]:
+        decoded = self.decoder.decode_frame(frame.encoded)
+        ms = lat.decode_ms(
+            frame.geometry.modeled_lr_pixels, self.device, hardware=hardware
+        )
+        return decoded, ms
+
+    def _network_stage(self, frame: ServerFrame) -> tuple[float, EnergyStages]:
+        rx_ms = lat.transmission_ms(frame.modeled_size_bytes) - lat.transmission_ms(0)
+        return rx_ms, {"network": [(Component.NETWORK_RX, rx_ms)]}
+
+    def process(self, frame: ServerFrame) -> ClientFrameResult:
+        raise NotImplementedError
+
+
+class GameStreamSRClient(StreamingClient):
+    """The paper's RoI-assisted hybrid client (Fig. 9)."""
+
+    design = "gamestreamsr"
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        runner: SRRunner,
+        modeled_roi_side: Optional[int] = None,
+    ) -> None:
+        """``modeled_roi_side`` pins the RoI side at the modeled geometry
+        (the negotiated plan side, e.g. ~300 px on 720p); by default the
+        eval-scale RoI area is extrapolated by the area ratio."""
+        super().__init__(device)
+        self.upscaler = RoIAssistedUpscaler(runner)
+        self.modeled_roi_side = modeled_roi_side
+
+    def _modeled_roi_pixels(self, frame: ServerFrame) -> int:
+        if self.modeled_roi_side is not None:
+            return self.modeled_roi_side**2
+        return frame.geometry.modeled_roi_pixels(frame.roi)
+
+    def process(self, frame: ServerFrame) -> ClientFrameResult:
+        if frame.roi is None:
+            raise ValueError("GameStreamSRClient requires server-side RoI data")
+        geometry = frame.geometry
+        decoded, decode_ms = self._decode(frame, hardware=True)
+        result = self.upscaler.upscale(decoded.rgb, frame.roi)
+
+        roi_px = self._modeled_roi_pixels(frame)
+        non_roi_px = geometry.modeled_lr_pixels - roi_px
+        npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
+        gpu_ms = lat.gpu_bilinear_ms(non_roi_px, self.device)
+        merge_ms = lat.merge_ms(geometry.modeled_hr_pixels, self.device)
+        # NPU and GPU run in parallel (Sec. IV-C); the RoI merge is a
+        # composition copy and lands in the display stage.
+        upscale_ms = max(npu_ms, gpu_ms)
+        rx_ms, energy = self._network_stage(frame)
+        energy["decode"] = [(Component.HW_DECODER, decode_ms)]
+        energy["upscale"] = [
+            (Component.NPU, npu_ms),
+            (Component.GPU, gpu_ms + merge_ms),
+        ]
+        return ClientFrameResult(
+            index=frame.index,
+            frame_type=frame.encoded.frame_type,
+            hr_frame=result.frame,
+            client_timings_ms={
+                "decode": decode_ms,
+                "upscale": upscale_ms,
+                "display": lat.display_present_ms(self.device) + merge_ms,
+            },
+            energy_stages=energy,
+        )
+
+
+class NemoClient(StreamingClient):
+    """NEMO (Yeo et al. 2020) ported to game streaming — the paper's SOTA.
+
+    Reference frames get full-frame DNN SR; non-reference frames reuse the
+    cached upscaled reference: HR prediction = warp(HR reference, 2x-scaled
+    motion vectors), plus the bilinearly upscaled decoded residual. Codec
+    modifications force the software decoder (Sec. V-A).
+    """
+
+    design = "nemo"
+
+    def __init__(self, device: DeviceProfile, runner: SRRunner, sr_tile: int = 72) -> None:
+        super().__init__(device)
+        self.runner = runner
+        self.sr_tile = sr_tile
+        self._hr_reference: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._hr_reference = None
+
+    def process(self, frame: ServerFrame) -> ClientFrameResult:
+        geometry = frame.geometry
+        decoded, decode_ms = self._decode(frame, hardware=False)
+        scale = geometry.scale
+        rx_ms, energy = self._network_stage(frame)
+
+        if decoded.is_reference or self._hr_reference is None:
+            hr = self.runner.upscale_tiled(decoded.rgb, tile=self.sr_tile)
+            self._hr_reference = hr
+            npu_ms = lat.npu_sr_latency_ms(geometry.modeled_lr_pixels, self.device)
+            upscale_ms = npu_ms
+            energy["decode"] = [(Component.CPU, decode_ms)]
+            energy["upscale"] = [(Component.NPU, npu_ms)]
+        else:
+            from ..baselines.nemo import reconstruct_nonreference
+
+            hr = reconstruct_nonreference(
+                self._hr_reference,
+                decoded.motion_vectors,
+                decoded.residual_rgb,
+                scale=scale,
+                block=frame.encoded.block,
+            )
+            self._hr_reference = hr
+
+            cpu_up_ms = lat.cpu_bilinear_ms(geometry.modeled_lr_pixels, self.device)
+            warp_ms = lat.cpu_warp_ms(geometry.modeled_hr_pixels, self.device)
+            upscale_ms = cpu_up_ms + warp_ms
+            # Energy accounting note (calibration.py): the warp runs inside
+            # NEMO's modified decoder, so its energy lands in "decode".
+            energy["decode"] = [
+                (Component.CPU, decode_ms),
+                (Component.RECON_MEMORY, warp_ms),
+            ]
+            energy["upscale"] = [(Component.CPU, cpu_up_ms)]
+
+        return ClientFrameResult(
+            index=frame.index,
+            frame_type=frame.encoded.frame_type,
+            hr_frame=hr,
+            client_timings_ms={
+                "decode": decode_ms,
+                "upscale": upscale_ms,
+                "display": lat.display_present_ms(self.device),
+            },
+            energy_stages=energy,
+        )
+
+
+class BilinearClient(StreamingClient):
+    """Hardware decode + GPU bilinear upscale of the whole frame."""
+
+    design = "bilinear"
+
+    def process(self, frame: ServerFrame) -> ClientFrameResult:
+        geometry = frame.geometry
+        decoded, decode_ms = self._decode(frame, hardware=True)
+        s = geometry.scale
+        hr = bilinear(
+            decoded.rgb, geometry.eval_lr_height * s, geometry.eval_lr_width * s
+        )
+        gpu_ms = lat.gpu_bilinear_ms(geometry.modeled_lr_pixels, self.device)
+        rx_ms, energy = self._network_stage(frame)
+        energy["decode"] = [(Component.HW_DECODER, decode_ms)]
+        energy["upscale"] = [(Component.GPU, gpu_ms)]
+        return ClientFrameResult(
+            index=frame.index,
+            frame_type=frame.encoded.frame_type,
+            hr_frame=hr,
+            client_timings_ms={
+                "decode": decode_ms,
+                "upscale": gpu_ms,
+                "display": lat.display_present_ms(self.device),
+            },
+            energy_stages=energy,
+        )
+
+
+class FullFrameSRClient(StreamingClient):
+    """DNN SR on every frame — the quality ceiling, far from real time."""
+
+    design = "fullframe_sr"
+
+    def __init__(self, device: DeviceProfile, runner: SRRunner, sr_tile: int = 72) -> None:
+        super().__init__(device)
+        self.runner = runner
+        self.sr_tile = sr_tile
+
+    def process(self, frame: ServerFrame) -> ClientFrameResult:
+        geometry = frame.geometry
+        decoded, decode_ms = self._decode(frame, hardware=True)
+        hr = self.runner.upscale_tiled(decoded.rgb, tile=self.sr_tile)
+        npu_ms = lat.npu_sr_latency_ms(geometry.modeled_lr_pixels, self.device)
+        rx_ms, energy = self._network_stage(frame)
+        energy["decode"] = [(Component.HW_DECODER, decode_ms)]
+        energy["upscale"] = [(Component.NPU, npu_ms)]
+        return ClientFrameResult(
+            index=frame.index,
+            frame_type=frame.encoded.frame_type,
+            hr_frame=hr,
+            client_timings_ms={
+                "decode": decode_ms,
+                "upscale": npu_ms,
+                "display": lat.display_present_ms(self.device),
+            },
+            energy_stages=energy,
+        )
+
+
+class SRIntegratedDecoderClient(StreamingClient):
+    """Fig. 15 future-work prototype: RoI-SR only on reference frames.
+
+    Non-reference frames bypass the NPU entirely: the (hypothetically
+    augmented) hardware decoder reconstructs them in HR from the cached
+    upscaled reference using 2x-scaled motion vectors, with RoI-guided
+    residual interpolation — bicubic inside the RoI, bilinear outside.
+    """
+
+    design = "sr_integrated_decoder"
+
+    #: Modeled latency/energy multiplier of the augmented decoder relative
+    #: to the stock hardware decoder (extra HR reconstruction datapath).
+    DECODER_AUGMENT_FACTOR = 1.6
+    #: In-decoder HR reconstruction engine (warp + RoI-guided residual
+    #: interpolation + merge) per HR pixel — a fixed-function datapath at
+    #: composition-level power. Sized so the prototype's projected savings
+    #: land near the paper's "as high as 50 %" (Sec. VI), not at the
+    #: free-lunch number a zero-cost decoder would give.
+    RECON_MS_PER_HR_PX = 5.4e-6
+
+    def __init__(self, device: DeviceProfile, runner: SRRunner) -> None:
+        super().__init__(device)
+        self.upscaler = RoIAssistedUpscaler(runner)
+        self._hr_reference: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._hr_reference = None
+
+    def _roi_guided_residual(
+        self, residual: np.ndarray, roi: RoIBox, h_hr: int, w_hr: int
+    ) -> np.ndarray:
+        upscaled = bilinear(residual, h_hr, w_hr)
+        roi_hr = roi.scaled(h_hr // residual.shape[0])
+        patch = roi.extract(residual)
+        upscaled[roi_hr.y : roi_hr.y_end, roi_hr.x : roi_hr.x_end] = bicubic(
+            patch, roi_hr.height, roi_hr.width
+        )
+        return upscaled
+
+    def process(self, frame: ServerFrame) -> ClientFrameResult:
+        if frame.roi is None:
+            raise ValueError("SRIntegratedDecoderClient requires RoI data")
+        geometry = frame.geometry
+        decoded, hw_decode_ms = self._decode(frame, hardware=True)
+        s = geometry.scale
+        rx_ms, energy = self._network_stage(frame)
+
+        if decoded.is_reference or self._hr_reference is None:
+            result = self.upscaler.upscale(decoded.rgb, frame.roi)
+            hr = result.frame
+            roi_px = geometry.modeled_roi_pixels(frame.roi)
+            npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
+            gpu_ms = lat.gpu_bilinear_ms(geometry.modeled_lr_pixels - roi_px, self.device)
+            upscale_ms = max(npu_ms, gpu_ms) + lat.merge_ms(
+                geometry.modeled_hr_pixels, self.device
+            )
+            decode_ms = hw_decode_ms
+            energy["decode"] = [(Component.HW_DECODER, decode_ms)]
+            energy["upscale"] = [(Component.NPU, npu_ms), (Component.GPU, gpu_ms)]
+        else:
+            mv_hr = upscale_motion_vectors(decoded.motion_vectors, s)
+            block_hr = frame.encoded.block * s
+            h_hr = geometry.eval_lr_height * s
+            w_hr = geometry.eval_lr_width * s
+            prediction = np.stack(
+                [
+                    compensate(self._hr_reference[..., c], mv_hr, block_hr)
+                    for c in range(3)
+                ],
+                axis=-1,
+            )
+            residual_hr = self._roi_guided_residual(
+                decoded.residual_rgb, frame.roi, h_hr, w_hr
+            )
+            hr = np.clip(prediction + residual_hr, 0.0, 1.0)
+            # Everything happens inside the augmented decoder hardware:
+            # entropy/transform decode plus the HR reconstruction engine.
+            recon_ms = self.RECON_MS_PER_HR_PX * geometry.modeled_hr_pixels
+            decode_ms = hw_decode_ms * self.DECODER_AUGMENT_FACTOR + recon_ms
+            upscale_ms = 0.0
+            energy["decode"] = [
+                (Component.HW_DECODER, hw_decode_ms * self.DECODER_AUGMENT_FACTOR),
+                (Component.COMPOSITION, recon_ms),
+            ]
+            energy["upscale"] = []
+        self._hr_reference = hr
+
+        return ClientFrameResult(
+            index=frame.index,
+            frame_type=frame.encoded.frame_type,
+            hr_frame=hr,
+            client_timings_ms={
+                "decode": decode_ms,
+                "upscale": upscale_ms,
+                "display": lat.display_present_ms(self.device),
+            },
+            energy_stages=energy,
+        )

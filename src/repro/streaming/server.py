@@ -1,0 +1,121 @@
+"""Game-streaming server: render -> RoI detect -> encode -> transmit.
+
+Implements the server half of Fig. 6: each call to
+:meth:`GameStreamServer.next_frame` advances the game world, renders the
+LR frame + depth buffer, runs the depth-guided RoI detection (when
+enabled), encodes the frame, and returns the :class:`ServerFrame` that
+would travel to the client. Server stage latencies come from the
+calibrated platform model (a desktop-class server, Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..codec.encoder import VideoEncoder
+from ..core.config import DEFAULT_ROI_CONFIG, RoIConfig
+from ..core.detector import RoIDetector
+from ..platform import latency as lat
+from ..render.games import GameWorkload
+from ..render.rasterizer import RenderOutput
+from .frames import ROI_METADATA_BYTES, ServerFrame, StreamGeometry
+
+__all__ = ["GameStreamServer"]
+
+
+class GameStreamServer:
+    """Stateful per-session server for one game workload."""
+
+    def __init__(
+        self,
+        game: GameWorkload,
+        geometry: StreamGeometry,
+        roi_side: Optional[int],
+        gop_size: int = 60,
+        quality: int = 60,
+        fps: float = 60.0,
+        roi_config: RoIConfig = DEFAULT_ROI_CONFIG,
+    ) -> None:
+        """``roi_side`` is the client's negotiated window on the *eval*
+        geometry; pass None to disable RoI detection (SOTA mode)."""
+        self.game = game
+        self.geometry = geometry
+        self.fps = fps
+        self.encoder = VideoEncoder(gop_size=gop_size, quality=quality)
+        self.detector = (
+            RoIDetector(roi_side, roi_config) if roi_side is not None else None
+        )
+        self._index = 0
+        self._hr_cache: tuple[int, RenderOutput] | None = None
+
+    @property
+    def gop_size(self) -> int:
+        return self.encoder.gop_size
+
+    def _render_hr(self, index: int) -> RenderOutput:
+        if self._hr_cache is not None and self._hr_cache[0] == index:
+            return self._hr_cache[1]
+        g = self.geometry
+        rendered = self.game.render_frame(
+            index, g.eval_lr_width * g.scale, g.eval_lr_height * g.scale, self.fps
+        )
+        self._hr_cache = (index, rendered)
+        return rendered
+
+    def render_lr(self, index: int) -> RenderOutput:
+        """Produce the LR frame + depth buffer for frame ``index``.
+
+        With ``lr_source="downsample"`` (default) the server renders at HR
+        and area-averages color and depth down — the anti-aliased stream a
+        real game (MSAA/TAA) would encode. ``"native"`` renders directly
+        at LR (aliased).
+        """
+        g = self.geometry
+        if g.lr_source == "native":
+            return self.game.render_frame(index, g.eval_lr_width, g.eval_lr_height, self.fps)
+        hr = self._render_hr(index)
+        s = g.scale
+        h, w = g.eval_lr_height, g.eval_lr_width
+        color = hr.color[: h * s, : w * s].reshape(h, s, w, s, 3).mean(axis=(1, 3))
+        depth = hr.depth[: h * s, : w * s].reshape(h, s, w, s).mean(axis=(1, 3))
+        return RenderOutput(color=color, depth=depth)
+
+    def render_hr_reference(self, index: int) -> np.ndarray:
+        """Native HR render of frame ``index`` (the quality ground truth)."""
+        return self._render_hr(index).color
+
+    def next_frame(self) -> ServerFrame:
+        """Advance one frame through the server pipeline."""
+        index = self._index
+        self._index += 1
+
+        rendered = self.render_lr(index)
+        roi = None
+        roi_detect_ms = 0.0
+        if self.detector is not None:
+            roi = self.detector.detect(rendered.depth).box
+            roi_detect_ms = lat.server_roi_detect_ms()
+
+        encoded = self.encoder.encode_frame(rendered.color)
+        modeled_bytes = int(round(encoded.size_bytes * self.geometry.byte_scale))
+        if roi is not None:
+            modeled_bytes += ROI_METADATA_BYTES
+
+        timings = {
+            "input": lat.server_input_ms(),
+            "game_logic": lat.server_game_logic_ms(),
+            "render": lat.server_render_ms(self.geometry.modeled_lr_pixels),
+            "roi_detect": roi_detect_ms,
+            "encode": lat.server_encode_ms(self.geometry.modeled_lr_pixels),
+            "network": lat.transmission_ms(modeled_bytes),
+        }
+        return ServerFrame(
+            index=index,
+            encoded=encoded,
+            roi=roi,
+            geometry=self.geometry,
+            server_timings_ms=timings,
+            modeled_size_bytes=modeled_bytes,
+        )

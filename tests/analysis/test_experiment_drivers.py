@@ -1,0 +1,71 @@
+"""Experiment driver plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_GAME_IDS,
+    DEVICE_NAMES,
+    _make_client,
+    perf_geometry,
+    quality_geometry,
+    upscale_factor_tradeoff,
+)
+from repro.core.roi_sizing import plan_roi_window
+from repro.platform.device import get_device
+from repro.streaming.client import GameStreamSRClient, NemoClient
+
+
+class TestGeometries:
+    def test_perf_geometry_native(self):
+        geo = perf_geometry()
+        assert geo.lr_source == "native"
+        assert geo.modeled_lr_pixels == 1280 * 720
+
+    def test_quality_geometry_antialiased(self):
+        geo = quality_geometry()
+        assert geo.lr_source == "downsample"
+        # Same RoI-fraction as the paper: 300/720 of frame height.
+        assert geo.eval_lr_height * 300 // 720 > 0
+
+
+class TestConstants:
+    def test_all_games_listed(self):
+        assert ALL_GAME_IDS == [f"G{i}" for i in range(1, 11)]
+
+    def test_device_names(self):
+        for name in DEVICE_NAMES:
+            assert get_device(name).name == name
+
+
+class TestClientFactory:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return plan_roi_window(get_device("samsung_tab_s8"))
+
+    def test_designs_route(self, plan, tiny_runner, monkeypatch):
+        import repro.analysis.experiments as exp
+
+        monkeypatch.setattr(exp, "default_runner", lambda: tiny_runner)
+        device = get_device("samsung_tab_s8")
+        assert isinstance(_make_client("gamestreamsr", device, plan), GameStreamSRClient)
+        assert isinstance(_make_client("nemo", device, plan), NemoClient)
+
+    def test_unknown_design(self, plan, tiny_runner, monkeypatch):
+        import repro.analysis.experiments as exp
+
+        monkeypatch.setattr(exp, "default_runner", lambda: tiny_runner)
+        with pytest.raises(ValueError, match="unknown design"):
+            _make_client("magic", get_device("samsung_tab_s8"), plan)
+
+
+class TestTradeoffDriver:
+    def test_factor_points_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        points = upscale_factor_tradeoff(factors=(2, 4), target=(64, 112))
+        assert [p.factor for p in points] == [2, 4]
+        assert points[0].npu_latency_ms > points[1].npu_latency_ms
+        # second call hits the cache (same object content)
+        again = upscale_factor_tradeoff(factors=(2, 4), target=(64, 112))
+        assert [p.bilinear_psnr_db for p in again] == [p.bilinear_psnr_db for p in points]

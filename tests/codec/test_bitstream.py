@@ -1,0 +1,75 @@
+"""Bit-level I/O."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_bits(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 1, 0, 0, 0, 1):
+            w.write_bit(bit)
+        assert w.getvalue() == bytes([0b10110001])
+
+    def test_partial_byte_padded(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        assert w.getvalue() == bytes([0b10100000])
+        assert len(w) == 3
+
+    def test_write_bits_msb_first(self):
+        w = BitWriter()
+        w.write_bits(0xAB, 8)
+        assert w.getvalue() == bytes([0xAB])
+
+    def test_unary(self):
+        w = BitWriter()
+        w.write_unary(3)
+        assert w.getvalue() == bytes([0b00010000])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(1, -1)
+
+
+class TestBitReader:
+    def test_read_bits(self):
+        r = BitReader(bytes([0xAB, 0xCD]))
+        assert r.read_bits(8) == 0xAB
+        assert r.read_bits(4) == 0xC
+        assert r.bits_remaining == 4
+
+    def test_read_unary(self):
+        r = BitReader(bytes([0b00010000]))
+        assert r.read_unary() == 3
+
+    def test_eof(self):
+        r = BitReader(b"")
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+
+class TestRoundTrip:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_bit_sequences(self, bits):
+        w = BitWriter()
+        for bit in bits:
+            w.write_bit(bit)
+        r = BitReader(w.getvalue())
+        assert [r.read_bit() for _ in bits] == bits
+
+    @given(st.lists(st.tuples(st.integers(0, 2**20), st.integers(1, 21)), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_value_sequences(self, pairs):
+        w = BitWriter()
+        for value, width in pairs:
+            w.write_bits(value & ((1 << width) - 1), width)
+        r = BitReader(w.getvalue())
+        for value, width in pairs:
+            assert r.read_bits(width) == value & ((1 << width) - 1)

@@ -1,0 +1,101 @@
+"""Block reshaping and DCT/quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.blocks import block_grid_shape, merge_blocks, pad_to_blocks, split_blocks
+from repro.codec.transform import (
+    dequantize,
+    forward_dct,
+    inverse_dct,
+    quant_matrix,
+    quantize,
+)
+
+
+class TestBlocks:
+    @given(st.integers(3, 40), st.integers(3, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_split_merge_roundtrip(self, h, w):
+        plane = np.arange(h * w, dtype=np.float64).reshape(h, w)
+        blocks = split_blocks(plane, 8)
+        np.testing.assert_array_equal(merge_blocks(blocks, h, w, 8), plane)
+
+    def test_grid_shape(self):
+        assert block_grid_shape(16, 24, 8) == (2, 3)
+        assert block_grid_shape(17, 25, 8) == (3, 4)
+
+    def test_pad_uses_edge_values(self):
+        plane = np.array([[1.0, 2.0], [3.0, 4.0]])
+        padded = pad_to_blocks(plane, 4)
+        assert padded.shape == (4, 4)
+        assert padded[3, 3] == 4.0
+
+    def test_pad_noop_when_aligned(self):
+        plane = np.zeros((8, 16))
+        assert pad_to_blocks(plane, 8) is plane
+
+    def test_merge_shape_validation(self):
+        with pytest.raises(ValueError):
+            merge_blocks(np.zeros((3, 8, 8)), 16, 16, 8)
+
+    def test_block_order_row_major(self):
+        plane = np.zeros((16, 16))
+        plane[0:8, 8:16] = 1.0  # second block in row-major order
+        blocks = split_blocks(plane, 8)
+        assert blocks[1].mean() == 1.0
+        assert blocks[0].mean() == 0.0
+
+
+class TestDCT:
+    def test_roundtrip(self, rng):
+        blocks = rng.normal(size=(5, 8, 8)) * 100
+        np.testing.assert_allclose(inverse_dct(forward_dct(blocks)), blocks, atol=1e-9)
+
+    def test_dc_coefficient(self):
+        flat = np.full((1, 8, 8), 10.0)
+        coeffs = forward_dct(flat)
+        assert coeffs[0, 0, 0] == pytest.approx(80.0)  # orthonormal: mean * n
+        assert np.abs(coeffs[0]).sum() == pytest.approx(80.0)
+
+    def test_energy_preservation(self, rng):
+        """Orthonormal DCT preserves the L2 norm (Parseval)."""
+        blocks = rng.normal(size=(3, 8, 8))
+        coeffs = forward_dct(blocks)
+        assert np.sum(coeffs**2) == pytest.approx(np.sum(blocks**2))
+
+
+class TestQuantization:
+    def test_quality_bounds(self):
+        with pytest.raises(ValueError):
+            quant_matrix(0)
+        with pytest.raises(ValueError):
+            quant_matrix(101)
+
+    def test_higher_quality_finer_steps(self):
+        assert quant_matrix(90).mean() < quant_matrix(50).mean() < quant_matrix(10).mean()
+
+    def test_high_frequencies_coarser(self):
+        steps = quant_matrix(50)
+        assert steps[7, 7] > steps[0, 0]
+
+    def test_roundtrip_error_bounded_by_step(self, rng):
+        coeffs = rng.normal(size=(4, 8, 8)) * 50
+        for quality in (30, 60, 90):
+            recon = dequantize(quantize(coeffs, quality), quality)
+            steps = quant_matrix(quality)
+            assert np.all(np.abs(recon - coeffs) <= steps / 2 + 1e-9)
+
+    def test_non_8_block_sizes(self):
+        for n in (4, 16):
+            steps = quant_matrix(50, n)
+            assert steps.shape == (n, n)
+            assert np.all(steps >= 1)
+
+    def test_quantize_returns_integers(self, rng):
+        levels = quantize(rng.normal(size=(1, 8, 8)) * 10, 50)
+        assert levels.dtype == np.int64

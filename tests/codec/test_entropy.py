@@ -1,0 +1,96 @@
+"""Zigzag scan and coefficient entropy coding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.entropy import (
+    decode_blocks,
+    encode_blocks,
+    inverse_zigzag,
+    zigzag,
+    zigzag_indices,
+)
+
+
+class TestZigzag:
+    def test_known_4x4_order(self):
+        block = np.arange(16).reshape(4, 4)
+        flat = zigzag(block)
+        # Standard JPEG zigzag for 4x4.
+        np.testing.assert_array_equal(
+            flat, [0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15]
+        )
+
+    def test_inverse(self):
+        block = np.arange(64).reshape(8, 8)
+        np.testing.assert_array_equal(inverse_zigzag(zigzag(block), 8), block)
+
+    def test_indices_visit_every_cell(self):
+        rows, cols = zigzag_indices(8)
+        assert len(set(zip(rows.tolist(), cols.tolist()))) == 64
+
+    def test_frequency_ordering(self):
+        """Zigzag visits low-frequency (small r+c) coefficients first."""
+        rows, cols = zigzag_indices(8)
+        sums = rows + cols
+        assert all(sums[i] <= sums[i + 1] + 1 for i in range(len(sums) - 1))
+        assert sums[0] == 0 and sums[-1] == 14
+
+
+class TestBlockCoding:
+    def roundtrip(self, blocks: np.ndarray) -> np.ndarray:
+        writer = BitWriter()
+        encode_blocks(blocks, writer)
+        return decode_blocks(BitReader(writer.getvalue()), len(blocks), blocks.shape[1])
+
+    def test_simple_roundtrip(self):
+        blocks = np.zeros((2, 8, 8), dtype=np.int64)
+        blocks[0, 0, 0] = 17
+        blocks[1, 3, 4] = -9
+        np.testing.assert_array_equal(self.roundtrip(blocks), blocks)
+
+    def test_all_zero_blocks_are_tiny(self):
+        writer = BitWriter()
+        encode_blocks(np.zeros((10, 8, 8), dtype=np.int64), writer)
+        assert len(writer.getvalue()) < 30  # ~2 codes per block
+
+    def test_sparse_cheaper_than_dense(self, rng):
+        sparse = np.zeros((4, 8, 8), dtype=np.int64)
+        sparse[:, 0, 0] = 5
+        dense = rng.integers(-20, 20, size=(4, 8, 8))
+        ws, wd = BitWriter(), BitWriter()
+        encode_blocks(sparse, ws)
+        encode_blocks(dense, wd)
+        assert len(ws.getvalue()) < len(wd.getvalue())
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            encode_blocks(np.zeros((2, 8, 4), dtype=np.int64), BitWriter())
+
+    @given(
+        arrays(
+            dtype=np.int64,
+            shape=st.tuples(st.integers(1, 4), st.just(8), st.just(8)),
+            elements=st.integers(-255, 255),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, blocks):
+        np.testing.assert_array_equal(self.roundtrip(blocks), blocks)
+
+    @given(
+        arrays(
+            dtype=np.int64,
+            shape=st.tuples(st.integers(1, 3), st.just(4), st.just(4)),
+            elements=st.integers(-1000, 1000),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property_4x4(self, blocks):
+        np.testing.assert_array_equal(self.roundtrip(blocks), blocks)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RoIConfig
+from repro.render.games import build_game
+from repro.sr.pretrained import default_sr_model
+from repro.sr.runner import SRRunner
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A 1-block/8-channel EDSR, trained once and cached under .cache/."""
+    return default_sr_model(profile="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_runner(tiny_model) -> SRRunner:
+    return SRRunner(tiny_model)
+
+
+@pytest.fixture(scope="session")
+def g3_frame():
+    """One small rendered (color, depth) pair from the Witcher-3-like scene."""
+    return build_game("G3").render_frame(2, 96, 64)
+
+
+@pytest.fixture(scope="session")
+def g3_sequence():
+    """Six consecutive small frames of G3 (for codec/streaming tests)."""
+    game = build_game("G3")
+    return [game.render_frame(i, 96, 64) for i in range(6)]
+
+
+@pytest.fixture
+def roi_config() -> RoIConfig:
+    return RoIConfig()
+
+
+@pytest.fixture
+def synthetic_depth() -> np.ndarray:
+    """A depth map with a clear near blob on a far background + sky."""
+    depth = np.full((60, 80), 0.6)
+    depth[:10, :] = 1.0  # sky
+    depth[24:40, 34:50] = 0.08  # near object, slightly right of centre
+    depth[50:, :] = 0.2  # near ground strip
+    return depth
+
+
+def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` wrt ``array`` (dense)."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad

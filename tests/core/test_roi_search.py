@@ -1,0 +1,134 @@
+"""Algorithm 1 RoI search and the RoIBox type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.roi_search import RoIBox, search_roi, window_sums
+
+
+def brute_force_best(values, win_h, win_w):
+    """Exhaustive max-sum window (the oracle Algorithm 1 approximates)."""
+    best, best_pos = -np.inf, (0, 0)
+    h, w = values.shape
+    for y in range(h - win_h + 1):
+        for x in range(w - win_w + 1):
+            s = values[y : y + win_h, x : x + win_w].sum()
+            if s > best + 1e-12:
+                best, best_pos = s, (y, x)
+    return best, best_pos
+
+
+class TestWindowSums:
+    def test_matches_brute_force(self, rng):
+        values = rng.uniform(size=(20, 30))
+        ys = np.arange(0, 13, 3)
+        xs = np.arange(0, 23, 4)
+        sums = window_sums(values, 8, 8, ys, xs)
+        for i, y in enumerate(ys):
+            for j, x in enumerate(xs):
+                assert sums[i, j] == pytest.approx(values[y : y + 8, x : x + 8].sum())
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_full_grid(self, win_h, win_w):
+        rng = np.random.default_rng(win_h * 10 + win_w)
+        values = rng.uniform(size=(12, 14))
+        ys = np.arange(0, 12 - win_h + 1)
+        xs = np.arange(0, 14 - win_w + 1)
+        sums = window_sums(values, win_h, win_w, ys, xs)
+        best_exh, pos = brute_force_best(values, win_h, win_w)
+        assert sums.max() == pytest.approx(best_exh)
+
+
+class TestSearch:
+    def test_finds_planted_blob(self):
+        values = np.zeros((60, 80))
+        values[34:44, 50:60] = 1.0
+        box = search_roi(values, 10, 10, fine_stride=1)
+        assert (box.y, box.x) == (34, 50)
+
+    def test_fine_stride_one_matches_bruteforce(self, rng):
+        values = rng.uniform(size=(40, 50)) ** 4  # peaky field
+        box = search_roi(values, 12, 12, fine_stride=1)
+        best, _ = brute_force_best(values, 12, 12)
+        found = values[box.y : box.y_end, box.x : box.x_end].sum()
+        # Coarse+fine is a heuristic; it must come close to the optimum.
+        assert found >= 0.85 * best
+
+    def test_center_tiebreak(self):
+        """On a uniform map every window ties; the centre must win."""
+        values = np.ones((40, 60))
+        box = search_roi(values, 10, 10, fine_stride=1)
+        cx, cy = box.center
+        assert abs(cx - 30) <= 5 and abs(cy - 20) <= 5
+
+    def test_full_size_window(self):
+        values = np.ones((16, 16))
+        box = search_roi(values, 16, 16)
+        assert (box.x, box.y) == (0, 0)
+
+    def test_stride_defaults_follow_paper(self, rng):
+        """Coarse stride defaults to max(h, w)/2 and must still find a
+        strong blob after fine refinement."""
+        values = np.zeros((64, 64))
+        values[20:36, 28:44] = 1.0
+        box = search_roi(values, 16, 16)  # default strides
+        overlap = box.intersection_area(RoIBox(28, 20, 16, 16))
+        assert overlap >= 0.5 * 16 * 16
+
+    def test_validation(self):
+        values = np.ones((10, 10))
+        with pytest.raises(ValueError, match="larger than map"):
+            search_roi(values, 20, 20)
+        with pytest.raises(ValueError, match="strides"):
+            search_roi(values, 4, 4, coarse_stride=0)
+        with pytest.raises(ValueError, match="fine stride"):
+            search_roi(values, 4, 4, coarse_stride=2, fine_stride=3)
+        with pytest.raises(ValueError, match="2-D"):
+            search_roi(np.ones((4, 4, 3)), 2, 2)
+
+
+class TestRoIBox:
+    def test_geometry(self):
+        box = RoIBox(4, 6, 10, 8)
+        assert box.x_end == 14 and box.y_end == 14
+        assert box.area == 80
+        assert box.center == (9.0, 10.0)
+
+    def test_scaled(self):
+        assert RoIBox(2, 3, 4, 5).scaled(2) == RoIBox(4, 6, 8, 10)
+        with pytest.raises(ValueError):
+            RoIBox(0, 0, 2, 2).scaled(0)
+
+    def test_clamped(self):
+        assert RoIBox(18, 0, 8, 8).clamped(20, 20) == RoIBox(12, 0, 8, 8)
+        with pytest.raises(ValueError):
+            RoIBox(0, 0, 30, 30).clamped(20, 20)
+
+    def test_extract(self, rng):
+        frame = rng.uniform(size=(20, 30, 3))
+        box = RoIBox(5, 2, 10, 6)
+        np.testing.assert_array_equal(box.extract(frame), frame[2:8, 5:15])
+
+    def test_contains_and_intersection(self):
+        a = RoIBox(0, 0, 10, 10)
+        b = RoIBox(5, 5, 10, 10)
+        assert a.contains_point(9, 9) and not a.contains_point(10, 10)
+        assert a.intersection_area(b) == 25
+        assert a.intersection_area(RoIBox(20, 20, 5, 5)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoIBox(0, 0, 0, 5)
+        with pytest.raises(ValueError):
+            RoIBox(-1, 0, 5, 5)
+
+    @given(st.integers(0, 20), st.integers(0, 20), st.integers(1, 10), st.integers(1, 10), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_preserves_area_ratio(self, x, y, w, h, s):
+        box = RoIBox(x, y, w, h)
+        assert box.scaled(s).area == box.area * s * s

@@ -1,0 +1,82 @@
+"""Foveal/device RoI window sizing (paper Sec. IV-B1, Fig. 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.roi_sizing import (
+    RoIWindowPlan,
+    foveal_diameter_cm,
+    foveal_diameter_inches,
+    min_roi_side_px,
+    plan_roi_window,
+)
+from repro.platform.device import pixel_7_pro, samsung_tab_s8
+
+
+class TestFovealMath:
+    def test_paper_diameter_anchor(self):
+        # Sec. IV-B1: 2 * 30 cm * tan(3 deg) = 3.14 cm ~= 1.25 in.
+        assert foveal_diameter_cm(30.0, 6.0) == pytest.approx(3.14, abs=0.01)
+        assert foveal_diameter_inches(30.0, 6.0) == pytest.approx(1.25, abs=0.02)
+
+    def test_scales_with_distance(self):
+        assert foveal_diameter_cm(60.0) == pytest.approx(2 * foveal_diameter_cm(30.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            foveal_diameter_cm(0.0)
+        with pytest.raises(ValueError):
+            foveal_diameter_cm(30.0, 0.0)
+
+
+class TestMinSide:
+    def test_s8_paper_anchor(self):
+        # Paper: ~343 px on the 2K display -> ~172 px on the 720p frame.
+        side = min_roi_side_px(samsung_tab_s8(), scale_factor=2)
+        assert abs(side - 172) <= 5
+
+    def test_scale_factor_shrinks_window(self):
+        s8 = samsung_tab_s8()
+        assert min_roi_side_px(s8, 4) < min_roi_side_px(s8, 2)
+
+    def test_higher_ppi_larger_window(self):
+        assert min_roi_side_px(pixel_7_pro()) > 0
+        # Pixel has ~2x PPI but sits closer; compare at equal distance.
+        s8 = samsung_tab_s8()
+        dense = s8.with_overrides(display=s8.display.__class__(2560, 1600, ppi=548.0))
+        assert min_roi_side_px(dense) == pytest.approx(2 * min_roi_side_px(s8), abs=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_roi_side_px(samsung_tab_s8(), scale_factor=0)
+
+
+class TestPlan:
+    def test_s8_plan(self):
+        plan = plan_roi_window(samsung_tab_s8())
+        assert plan.min_side <= plan.side == plan.max_side
+        assert abs(plan.max_side - 300) <= 10  # paper: ~300 px max
+        assert plan.meets_foveal_minimum
+
+    def test_pixel_plan_meets_foveal(self):
+        plan = plan_roi_window(pixel_7_pro())
+        assert plan.meets_foveal_minimum
+
+    def test_infeasible_device_raises(self):
+        s8 = samsung_tab_s8()
+        glacial = s8.with_overrides(npu_a_ms_per_px=s8.npu_a_ms_per_px * 100)
+        with pytest.raises(RuntimeError, match="foveal"):
+            plan_roi_window(glacial)
+
+    def test_side_for_frame_preserves_fraction(self):
+        plan = plan_roi_window(samsung_tab_s8())
+        side_128 = plan.side_for_frame(128)
+        assert side_128 / 128 == pytest.approx(plan.side / 720, abs=0.01)
+
+    def test_side_for_frame_clamps(self):
+        plan = RoIWindowPlan("d", 100, 300, 300, 720)
+        assert plan.side_for_frame(4) == 2  # floor of 2
+        assert plan.side_for_frame(720) == 300
+        with pytest.raises(ValueError):
+            plan.side_for_frame(0)

@@ -1,0 +1,56 @@
+"""The shipped examples must actually run."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+def test_roi_visualizer():
+    out = run_example("roi_visualizer.py", "G2")
+    assert "Far Cry 5" in out
+    assert "RoI:" in out
+
+
+def test_device_capability():
+    out = run_example("device_capability.py")
+    assert "samsung_tab_s8" in out
+    assert "NOT VIABLE" in out  # the budget-phone scenario
+    assert "120" in out
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "GameStreamSR (RoI DNN)" in out
+    assert "real-time" in out
+    assert "MISSES 16.66 ms" in out  # full-frame SR row
+
+
+@pytest.mark.slow
+def test_streaming_session():
+    out = run_example("streaming_session.py")
+    assert "ref-frame speedup" in out
+    assert "GameStreamSR=True" in out
+
+
+@pytest.mark.slow
+def test_train_sr_model():
+    out = run_example("train_sr_model.py")
+    assert "our EDSR" in out

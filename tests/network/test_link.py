@@ -1,0 +1,73 @@
+"""Network link model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.link import MTU_BYTES, NetworkLink
+
+
+class TestSerialization:
+    def test_time_from_bandwidth(self):
+        link = NetworkLink(bandwidth_mbps=80.0, propagation_ms=0.0)
+        # 10 KB at 80 Mbps = 80,000 bits / 80,000 bits-per-ms = 1 ms.
+        assert link.serialization_ms(10_000) == pytest.approx(1.0)
+
+    def test_propagation_added(self):
+        link = NetworkLink(bandwidth_mbps=80.0, propagation_ms=5.0)
+        result = link.transmit(10_000)
+        assert result.latency_ms == pytest.approx(6.0)
+        assert not result.dropped
+
+    def test_packet_count(self):
+        link = NetworkLink()
+        assert link.transmit(1).n_packets == 1
+        assert link.transmit(MTU_BYTES + 1).n_packets == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkLink(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            NetworkLink(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkLink().serialization_ms(-1)
+
+
+class TestLoss:
+    def test_lossless_is_deterministic(self):
+        link = NetworkLink(loss_rate=0.0)
+        a = link.transmit(50_000)
+        b = link.transmit(50_000)
+        assert a.latency_ms == b.latency_ms
+        assert a.n_retransmissions == 0
+
+    def test_loss_adds_latency(self):
+        clean = NetworkLink(loss_rate=0.0).transmit(500_000)
+        lossy_link = NetworkLink(loss_rate=0.3, seed=1)
+        lossy = lossy_link.transmit(500_000)
+        assert lossy.n_retransmissions > 0
+        assert lossy.latency_ms > clean.latency_ms
+
+    def test_deadline_marks_drop(self):
+        link = NetworkLink(bandwidth_mbps=1.0, propagation_ms=5.0)
+        assert link.transmit(100_000, deadline_ms=10.0).dropped
+        assert not link.transmit(100, deadline_ms=100.0).dropped
+
+
+class TestStreamDropRate:
+    def test_high_bitrate_drops_more(self):
+        """The paper's motivation: 2K streams overload the link (Sec. II-A)."""
+        link_720 = NetworkLink(bandwidth_mbps=40.0, seed=0)
+        link_2k = NetworkLink(bandwidth_mbps=40.0, seed=0)
+        drops_720 = link_720.stream_drop_rate(frame_bytes=30_000, n_frames=120)
+        drops_2k = link_2k.stream_drop_rate(frame_bytes=110_000, n_frames=120)
+        assert drops_2k > drops_720
+        assert drops_2k > 0.3  # severe, like the study the paper cites
+
+    def test_ample_bandwidth_no_drops(self):
+        link = NetworkLink(bandwidth_mbps=500.0)
+        assert link.stream_drop_rate(frame_bytes=30_000, n_frames=60) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkLink().stream_drop_rate(1000, fps=0)

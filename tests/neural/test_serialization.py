@@ -1,0 +1,45 @@
+"""Weight checkpoint save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.neural.models import EDSR
+from repro.neural.serialization import load_state, load_weights, save_weights
+from repro.neural.tensor import Tensor
+
+
+def test_roundtrip_preserves_outputs(tmp_path, rng):
+    model = EDSR(scale=2, n_resblocks=1, n_feats=8, seed=3)
+    x = Tensor(rng.uniform(size=(1, 3, 6, 6)))
+    expected = model(x).numpy()
+
+    path = tmp_path / "weights.npz"
+    save_weights(model, path)
+    fresh = EDSR(scale=2, n_resblocks=1, n_feats=8, seed=99)
+    load_weights(fresh, path)
+    np.testing.assert_allclose(fresh(x).numpy(), expected)
+
+
+def test_load_state_raw(tmp_path):
+    model = EDSR(scale=2, n_resblocks=1, n_feats=8)
+    path = tmp_path / "w.npz"
+    save_weights(model, path)
+    state = load_state(path)
+    assert set(state) == set(model.state_dict())
+    for key, value in state.items():
+        assert value.shape == model.state_dict()[key].shape
+
+
+def test_geometry_mismatch_rejected(tmp_path):
+    save_weights(EDSR(scale=2, n_resblocks=1, n_feats=8), tmp_path / "w.npz")
+    other = EDSR(scale=2, n_resblocks=2, n_feats=8)
+    with pytest.raises(KeyError):
+        load_weights(other, tmp_path / "w.npz")
+
+
+def test_creates_parent_directory(tmp_path):
+    nested = tmp_path / "a" / "b" / "w.npz"
+    save_weights(EDSR(scale=2, n_resblocks=1, n_feats=8), nested)
+    assert nested.exists()

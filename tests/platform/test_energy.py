@@ -1,0 +1,124 @@
+"""Energy model and the paper's Fig. 11/12 consistency checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform import calibration as cal
+from repro.platform import latency as lat
+from repro.platform.device import pixel_7_pro, samsung_tab_s8
+from repro.platform.energy import (
+    Component,
+    EnergyBreakdown,
+    component_power_w,
+    overhead_mj,
+    stage_energy_mj,
+)
+
+
+class TestBreakdownMath:
+    def test_total_and_shares(self):
+        b = EnergyBreakdown(decode=10, upscale=70, network=10, display=10)
+        assert b.total == 100
+        shares = b.shares()
+        assert shares["upscale"] == pytest.approx(0.7)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_add_and_scale(self):
+        a = EnergyBreakdown(1, 2, 3, 4)
+        b = (a + a).scaled(0.5)
+        assert b.total == pytest.approx(a.total)
+
+    def test_mean(self):
+        a = EnergyBreakdown(0, 0, 0, 0)
+        b = EnergyBreakdown(2, 2, 2, 2)
+        assert EnergyBreakdown.mean([a, b]).total == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            EnergyBreakdown.mean([])
+
+    def test_zero_total_shares(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown(0, 0, 0, 0).shares()
+
+    def test_stage_energy(self):
+        device = pixel_7_pro()
+        assert stage_energy_mj(device, Component.NPU, 10.0) == pytest.approx(
+            10.0 * device.npu_power_w
+        )
+        with pytest.raises(ValueError):
+            stage_energy_mj(device, Component.NPU, -1.0)
+
+    def test_all_components_priced(self):
+        device = samsung_tab_s8()
+        for component in Component:
+            assert component_power_w(device, component) > 0
+
+
+def analytic_frame_energy(device, design: str, is_reference: bool) -> EnergyBreakdown:
+    """Per-frame energy straight from the calibrated stage model."""
+    lr_px = cal.INPUT_720P_PX
+    hr_px = lr_px * 4
+    roi_px = 300 * 300
+    rx_mj = 2.5 * device.network_rx_power_w  # ~25 KB at 80 Mbps
+    if design == "ours":
+        upscale = (
+            lat.npu_sr_latency_ms(roi_px, device) * device.npu_power_w
+            + (lat.gpu_bilinear_ms(lr_px - roi_px, device) + lat.merge_ms(hr_px, device))
+            * device.gpu_power_w
+        )
+        decode = lat.decode_ms(lr_px, device, hardware=True) * device.hw_decoder_power_w
+    else:  # NEMO
+        decode = lat.decode_ms(lr_px, device, hardware=False) * device.cpu_power_w
+        if is_reference:
+            upscale = lat.npu_sr_latency_ms(lr_px, device) * device.npu_power_w
+        else:
+            upscale = lat.cpu_bilinear_ms(lr_px, device) * device.cpu_power_w
+            decode += lat.cpu_warp_ms(hr_px, device) * cal.RECON_POWER_W
+    return EnergyBreakdown(
+        decode=decode, upscale=upscale, network=rx_mj, display=overhead_mj(device)
+    )
+
+
+def gop60(device, design: str) -> EnergyBreakdown:
+    ref = analytic_frame_energy(device, design, True)
+    nonref = analytic_frame_energy(device, design, False)
+    return (ref + nonref.scaled(59)).scaled(1 / 60)
+
+
+class TestPaperEnergyShapes:
+    """Fig. 11/12: savings 26 % (S8) / 33 % (Pixel); ours upscale ~85 %,
+    decode ~6 %; SOTA decode ~46 %; ours upscale slightly above SOTA's."""
+
+    def test_pixel_savings_near_33pct(self):
+        device = pixel_7_pro()
+        savings = 1 - gop60(device, "ours").total / gop60(device, "nemo").total
+        assert savings == pytest.approx(0.33, abs=0.04)
+
+    def test_s8_savings_near_26pct(self):
+        device = samsung_tab_s8()
+        savings = 1 - gop60(device, "ours").total / gop60(device, "nemo").total
+        assert savings == pytest.approx(0.26, abs=0.04)
+
+    def test_s8_saves_less_than_pixel(self):
+        """Paper: the tablet's larger panel dilutes the savings."""
+        s8 = 1 - gop60(samsung_tab_s8(), "ours").total / gop60(samsung_tab_s8(), "nemo").total
+        px = 1 - gop60(pixel_7_pro(), "ours").total / gop60(pixel_7_pro(), "nemo").total
+        assert s8 < px
+
+    def test_ours_upscale_dominates(self):
+        shares = gop60(pixel_7_pro(), "ours").shares()
+        assert shares["upscale"] == pytest.approx(0.85, abs=0.06)
+        assert shares["decode"] == pytest.approx(0.06, abs=0.03)
+
+    def test_sota_decode_dominant(self):
+        shares = gop60(pixel_7_pro(), "nemo").shares()
+        assert shares["decode"] == pytest.approx(0.46, abs=0.08)
+
+    def test_ours_upscale_slightly_higher_than_sota(self):
+        ours = gop60(pixel_7_pro(), "ours").upscale
+        sota = gop60(pixel_7_pro(), "nemo").upscale
+        assert 1.0 < ours / sota < 1.5
+
+    def test_display_network_equal_across_designs(self):
+        device = pixel_7_pro()
+        assert gop60(device, "ours").display == gop60(device, "nemo").display

@@ -1,0 +1,121 @@
+"""Mesh primitives and operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.render.math3d import translation
+from repro.render.mesh import Mesh, box, cone, cylinder, plane, sphere, terrain
+
+ALL_PRIMS = {
+    "box": box(),
+    "plane": plane(2, 2, divisions=3),
+    "sphere": sphere(1.0, segments=8, rings=6),
+    "cylinder": cylinder(),
+    "cone": cone(),
+    "terrain": terrain(4, 5, lambda x, z: 0.1 * x * z),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PRIMS))
+class TestPrimitiveValidity:
+    def test_faces_in_range(self, name):
+        mesh = ALL_PRIMS[name]
+        assert mesh.faces.min() >= 0
+        assert mesh.faces.max() < len(mesh.vertices)
+
+    def test_uvs_per_vertex(self, name):
+        mesh = ALL_PRIMS[name]
+        assert mesh.uvs.shape == (len(mesh.vertices), 2)
+
+    def test_normals_unit_length(self, name):
+        normals = ALL_PRIMS[name].face_normals()
+        np.testing.assert_allclose(np.linalg.norm(normals, axis=1), 1.0, atol=1e-9)
+
+    def test_nonempty(self, name):
+        assert ALL_PRIMS[name].n_triangles > 0
+
+
+class TestSpecificGeometry:
+    def test_box_extents(self):
+        mesh = box(2.0, 4.0, 6.0)
+        assert mesh.n_triangles == 12
+        lo = mesh.vertices.min(axis=0)
+        hi = mesh.vertices.max(axis=0)
+        np.testing.assert_allclose(hi - lo, [2.0, 4.0, 6.0])
+        np.testing.assert_allclose((hi + lo) / 2, [0, 0, 0], atol=1e-12)
+
+    def test_plane_lies_flat(self):
+        mesh = plane(3, 5, divisions=2)
+        np.testing.assert_array_equal(mesh.vertices[:, 1], 0.0)
+        assert mesh.n_triangles == 2 * 2 * 2
+
+    def test_sphere_radius(self):
+        mesh = sphere(2.5, segments=10, rings=8)
+        radii = np.linalg.norm(mesh.vertices, axis=1)
+        np.testing.assert_allclose(radii, 2.5, atol=1e-9)
+
+    def test_cylinder_height_span(self):
+        mesh = cylinder(0.5, 3.0)
+        assert mesh.vertices[:, 1].min() == 0.0
+        assert mesh.vertices[:, 1].max() == 3.0
+
+    def test_cone_apex(self):
+        mesh = cone(1.0, 2.0, segments=6)
+        assert mesh.vertices[:, 1].max() == 2.0
+
+    def test_terrain_heights_follow_function(self):
+        mesh = terrain(10, 4, lambda x, z: x + z)
+        np.testing.assert_allclose(
+            mesh.vertices[:, 1], mesh.vertices[:, 0] + mesh.vertices[:, 2]
+        )
+
+    def test_terrain_bad_height_fn(self):
+        with pytest.raises(ValueError, match="height_fn"):
+            terrain(4, 3, lambda x, z: np.zeros(3))
+
+
+class TestMeshOps:
+    def test_transformed_moves_vertices(self):
+        mesh = box().transformed(translation(5, 0, 0))
+        assert mesh.vertices[:, 0].min() == pytest.approx(4.5)
+
+    def test_transformed_is_a_copy(self):
+        mesh = box()
+        moved = mesh.transformed(translation(1, 0, 0))
+        assert moved is not mesh
+        assert mesh.vertices[:, 0].min() == pytest.approx(-0.5)
+
+    def test_merged_with(self):
+        a, b = box(), sphere(1, segments=6, rings=4)
+        merged = a.merged_with(b)
+        assert len(merged.vertices) == len(a.vertices) + len(b.vertices)
+        assert merged.n_triangles == a.n_triangles + b.n_triangles
+        assert merged.faces.max() < len(merged.vertices)
+
+    def test_degenerate_face_normal_fallback(self):
+        mesh = Mesh(
+            vertices=np.zeros((3, 3)),
+            faces=np.array([[0, 1, 2]]),
+            uvs=np.zeros((3, 2)),
+        )
+        np.testing.assert_array_equal(mesh.face_normals()[0], [0.0, 1.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="vertices"):
+            Mesh(np.zeros((3, 2)), np.zeros((1, 3), dtype=int), np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="out of range"):
+            Mesh(np.zeros((3, 3)), np.array([[0, 1, 5]]), np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="uvs"):
+            Mesh(np.zeros((3, 3)), np.array([[0, 1, 2]]), np.zeros((2, 2)))
+
+    def test_primitive_argument_validation(self):
+        with pytest.raises(ValueError):
+            plane(1, 1, divisions=0)
+        with pytest.raises(ValueError):
+            sphere(segments=2)
+        with pytest.raises(ValueError):
+            cylinder(segments=2)
+        with pytest.raises(ValueError):
+            cone(segments=1)

@@ -1,0 +1,131 @@
+"""Z-buffered rasterization: coverage, occlusion, depth, clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera
+from repro.render.mesh import Mesh, plane
+from repro.render.rasterizer import render, sky_gradient
+from repro.render.shading import DirectionalLight, Material
+
+
+def quad_at(z: float, size: float = 2.0, x: float = 0.0, y: float = 0.0) -> Mesh:
+    """A camera-facing square at view depth ``z`` (camera at origin, -Z)."""
+    h = size / 2
+    verts = np.array(
+        [[x - h, y - h, z], [x + h, y - h, z], [x + h, y + h, z], [x - h, y + h, z]]
+    )
+    faces = np.array([[0, 1, 2], [0, 2, 3]])
+    uvs = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=np.float64)
+    return Mesh(verts, faces, uvs)
+
+
+@pytest.fixture
+def camera() -> Camera:
+    return Camera(position=np.array([0.0, 0.0, 0.0]), target=np.array([0.0, 0.0, -1.0]), far=100.0)
+
+
+RED = Material(base_color=(1.0, 0.0, 0.0), unlit=True)
+BLUE = Material(base_color=(0.0, 0.0, 1.0), unlit=True)
+
+
+class TestCoverage:
+    def test_centered_quad_covers_center(self, camera):
+        out = render([(quad_at(-5.0), RED)], camera, 40, 30)
+        np.testing.assert_allclose(out.color[15, 20], [1.0, 0.0, 0.0])
+        assert out.depth[15, 20] == pytest.approx(5.0 / 100.0, abs=1e-6)
+
+    def test_background_untouched(self, camera):
+        out = render([(quad_at(-5.0, size=0.5), RED)], camera, 40, 30)
+        assert out.depth[0, 0] == 1.0  # sky
+        assert out.depth[15, 20] < 1.0
+
+    def test_empty_scene_is_background(self, camera):
+        out = render([], camera, 32, 24, background=(0.1, 0.2, 0.3))
+        np.testing.assert_allclose(out.color, np.broadcast_to([0.1, 0.2, 0.3], (24, 32, 3)))
+        np.testing.assert_array_equal(out.depth, 1.0)
+
+    def test_offscreen_geometry_ignored(self, camera):
+        out = render([(quad_at(-5.0, x=100.0), RED)], camera, 32, 24)
+        assert (out.depth == 1.0).all()
+
+
+class TestOcclusion:
+    def test_near_quad_wins(self, camera):
+        out = render([(quad_at(-10.0), BLUE), (quad_at(-5.0, size=1.0), RED)], camera, 40, 30)
+        np.testing.assert_allclose(out.color[15, 20], [1.0, 0.0, 0.0])
+
+    def test_draw_order_irrelevant(self, camera):
+        a = render([(quad_at(-10.0), BLUE), (quad_at(-5.0, size=1.0), RED)], camera, 40, 30)
+        b = render([(quad_at(-5.0, size=1.0), RED), (quad_at(-10.0), BLUE)], camera, 40, 30)
+        np.testing.assert_array_equal(a.color, b.color)
+        np.testing.assert_array_equal(a.depth, b.depth)
+
+    def test_depth_linearized(self, camera):
+        near = render([(quad_at(-10.0), RED)], camera, 20, 16).depth[8, 10]
+        far = render([(quad_at(-50.0, size=20.0), RED)], camera, 20, 16).depth[8, 10]
+        assert near == pytest.approx(0.1, abs=1e-6)
+        assert far == pytest.approx(0.5, abs=1e-6)
+
+    def test_beyond_far_plane_clipped(self, camera):
+        out = render([(quad_at(-150.0), RED)], camera, 20, 16)
+        assert (out.depth == 1.0).all()
+
+
+class TestNearClipping:
+    def test_straddling_geometry_still_renders(self):
+        """A ground plane passing under the camera must not vanish."""
+        camera = Camera(
+            position=np.array([0.0, 1.0, 0.0]),
+            target=np.array([0.0, 0.5, -5.0]),
+            far=100.0,
+        )
+        ground = plane(4, 60).transformed(np.eye(4))  # spans z in [-30, 30]
+        out = render([(ground, RED)], camera, 40, 30)
+        # Lower half of the image shows the ground.
+        assert (out.depth[25] < 1.0).any()
+
+    def test_fully_behind_camera_rejected(self, camera):
+        out = render([(quad_at(5.0), RED)], camera, 20, 16)
+        assert (out.depth == 1.0).all()
+
+
+class TestShadingIntegration:
+    def test_lambert_applied(self, camera):
+        lit_mat = Material(base_color=(1.0, 1.0, 1.0))
+        light = DirectionalLight(direction=(0, 0, 1), ambient=0.3)
+        out = render([(quad_at(-5.0), lit_mat)], camera, 20, 16, light=light)
+        # Quad normal faces +Z (toward camera); light travels +Z, i.e. away
+        # from the visible face -> only the ambient floor remains.
+        center = out.color[8, 10]
+        assert center[0] == pytest.approx(0.3, abs=0.02)
+
+    def test_perspective_correct_uv(self, camera):
+        """A checker textured quad viewed straight-on has symmetric pattern."""
+        mat = Material(
+            base_color=(0.5, 0.5, 0.5), texture="checker", texture_scale=4,
+            detail_strength=1.0, unlit=True, lod_distance=1e9,
+        )
+        out = render([(quad_at(-5.0, size=3.0), mat)], camera, 64, 64)
+        row = out.color[32, :, 0]
+        covered = row[row > 0]  # quad pixels only
+        bright_left = (covered[: len(covered) // 2] > 0.5).mean()
+        bright_right = (covered[len(covered) // 2 :] > 0.5).mean()
+        assert abs(bright_left - bright_right) < 0.25
+
+
+class TestValidation:
+    def test_viewport_too_small(self, camera):
+        with pytest.raises(ValueError):
+            render([], camera, 1, 10)
+
+    def test_background_shape_check(self, camera):
+        with pytest.raises(ValueError, match="background"):
+            render([], camera, 10, 10, background=np.zeros((5, 5, 3)))
+
+    def test_sky_gradient_shape(self):
+        sky = sky_gradient(30, 20)
+        assert sky.shape == (20, 30, 3)
+        assert not np.array_equal(sky[0], sky[-1])  # vertical gradient

@@ -1,0 +1,125 @@
+"""Classical interpolation filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sr.interpolate import FILTERS, bicubic, bilinear, lanczos, nearest, resize, upscale
+
+
+@pytest.fixture
+def gradient_image():
+    xs = np.linspace(0, 1, 16)
+    return np.tile(xs, (12, 1))
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("method", sorted(FILTERS))
+    def test_identity_at_same_size(self, method, rng):
+        img = rng.uniform(size=(9, 13))
+        out = resize(img, 9, 13, method)
+        np.testing.assert_allclose(out, img, atol=1e-9)
+
+    @pytest.mark.parametrize("method", sorted(FILTERS))
+    def test_constant_image_preserved(self, method):
+        img = np.full((8, 10), 0.37)
+        out = resize(img, 16, 20, method)
+        np.testing.assert_allclose(out, 0.37, atol=1e-9)
+
+    @pytest.mark.parametrize("method", sorted(FILTERS))
+    def test_color_channels_independent(self, method, rng):
+        img = rng.uniform(size=(8, 8, 3))
+        out = resize(img, 16, 16, method)
+        for c in range(3):
+            np.testing.assert_allclose(
+                out[..., c], resize(img[..., c], 16, 16, method), atol=1e-12
+            )
+
+    @pytest.mark.parametrize("method", sorted(FILTERS))
+    def test_downscale(self, method, rng):
+        img = rng.uniform(size=(16, 16))
+        assert resize(img, 8, 8, method).shape == (8, 8)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown filter"):
+            resize(np.ones((4, 4)), 8, 8, "sinc42")
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            resize(np.ones((4, 4)), 0, 8)
+        with pytest.raises(ValueError):
+            upscale(np.ones((4, 4)), 0)
+        with pytest.raises(ValueError):
+            bilinear(np.ones(4), 8, 8)
+
+
+class TestNearest:
+    def test_2x_duplicates_pixels(self):
+        img = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = nearest(img, 4, 4)
+        np.testing.assert_array_equal(out, [[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]])
+
+
+class TestBilinear:
+    def test_midpoint_average(self):
+        img = np.array([[0.0, 1.0]])
+        out = bilinear(img, 1, 4)
+        # Output centres land at source coords -0.25, 0.25, 0.75, 1.25.
+        np.testing.assert_allclose(out[0], [0.0, 0.25, 0.75, 1.0])
+
+    def test_preserves_linear_ramp(self, gradient_image):
+        out = bilinear(gradient_image, 12, 32)
+        diffs = np.diff(out[6])
+        assert (diffs >= -1e-9).all()  # still monotone
+
+    def test_range_bounded(self, rng):
+        img = rng.uniform(size=(6, 6))
+        out = bilinear(img, 18, 18)
+        assert out.min() >= img.min() - 1e-9 and out.max() <= img.max() + 1e-9
+
+
+class TestHigherOrder:
+    def test_bicubic_sharper_than_bilinear_on_edge(self):
+        img = np.zeros((8, 16))
+        img[:, 8:] = 1.0
+        bl = bilinear(img, 8, 64)
+        bc = bicubic(img, 8, 64)
+        # Bicubic transitions faster across the edge (fewer mid-level pixels).
+        assert ((bc > 0.2) & (bc < 0.8)).sum() <= ((bl > 0.2) & (bl < 0.8)).sum()
+
+    def test_bicubic_can_overshoot(self):
+        img = np.zeros((4, 8))
+        img[:, 4:] = 1.0
+        out = bicubic(img, 4, 32)
+        assert out.min() < -1e-6 or out.max() > 1 + 1e-6
+
+    def test_lanczos_taps(self, rng):
+        img = rng.uniform(size=(8, 8))
+        a = lanczos(img, 16, 16, taps=2)
+        b = lanczos(img, 16, 16, taps=3)
+        assert not np.allclose(a, b)
+
+    def test_weights_normalized_at_border(self):
+        img = np.full((6, 6), 0.5)
+        for fn in (bicubic, lanczos):
+            out = fn(img, 12, 12)
+            np.testing.assert_allclose(out, 0.5, atol=1e-9)
+
+
+class TestProperties:
+    @given(st.integers(2, 12), st.integers(2, 12), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_upscale_shape(self, h, w, factor):
+        out = upscale(np.zeros((h, w)), factor)
+        assert out.shape == (h * factor, w * factor)
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_bilinear_mean_preserved_2x(self, n):
+        rng = np.random.default_rng(n)
+        img = rng.uniform(size=(n, n))
+        out = bilinear(img, 2 * n, 2 * n)
+        assert abs(out.mean() - img.mean()) < 0.05

@@ -1,0 +1,75 @@
+"""CLI commands and PPM/PGM image export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.render.io import load_ppm, save_pgm, save_ppm
+
+
+class TestImageIO:
+    def test_ppm_roundtrip(self, tmp_path, rng):
+        image = rng.uniform(size=(12, 16, 3))
+        path = save_ppm(image, tmp_path / "frame.ppm")
+        loaded = load_ppm(path)
+        assert loaded.shape == image.shape
+        assert np.abs(loaded - image).max() <= 0.5 / 255 + 1e-9
+
+    def test_pgm_header(self, tmp_path):
+        path = save_pgm(np.zeros((4, 6)), tmp_path / "depth.pgm")
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n6 4\n255\n")
+        assert len(data) == len(b"P5\n6 4\n255\n") + 24
+
+    def test_shape_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ppm(np.zeros((4, 4)), tmp_path / "x.ppm")
+        with pytest.raises(ValueError):
+            save_pgm(np.zeros((4, 4, 3)), tmp_path / "x.pgm")
+
+    def test_load_rejects_non_ppm(self, tmp_path):
+        bad = tmp_path / "bad.ppm"
+        bad.write_bytes(b"JFIF....")
+        with pytest.raises(ValueError, match="P6"):
+            load_ppm(bad)
+
+    def test_creates_directories(self, tmp_path):
+        path = save_ppm(np.zeros((2, 2, 3)), tmp_path / "a" / "b" / "x.ppm")
+        assert path.exists()
+
+
+class TestCLI:
+    def test_games_command(self, capsys):
+        assert main(["games"]) == 0
+        out = capsys.readouterr().out
+        assert "G10" in out and "Racing" in out
+
+    def test_devices_command(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "samsung_tab_s8" in out and "pixel_7_pro" in out
+
+    def test_detect_command(self, capsys):
+        assert main(["detect", "G9", "--width", "96", "--height", "64", "--side", "24"]) == 0
+        assert "RoI 24x24" in capsys.readouterr().out
+
+    def test_render_command(self, tmp_path, capsys):
+        code = main(
+            ["render", "G9", "--frames", "1", "--width", "64", "--height", "48",
+             "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "G9_000.ppm").exists()
+        assert (tmp_path / "G9_000_depth.pgm").exists()
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.slow
+    def test_stream_command(self, capsys, tiny_model):
+        assert main(["stream", "G9", "--frames", "4", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "gamestreamsr" in out and "nemo" in out
