@@ -1,0 +1,125 @@
+"""Frozen pre-fast-path SR inference, for trajectory benchmarking.
+
+This is a faithful numpy re-implementation of the repo's *original*
+inference path (commit ``6873e62``), kept so ``bench_hotpath.py`` can keep
+measuring the speedup of the current fast path against a fixed reference
+as the codebase evolves:
+
+- float64 activations end to end,
+- explicit ``np.pad`` before every conv (a full extra copy of the
+  activation, exactly what ``Tensor.pad2d`` materialized),
+- the original two-pass im2col (strided window materialized, then copied
+  into the column buffer),
+- non-in-place bias add / ReLU / residual arithmetic,
+- one forward per tile (the original ``upscale_tiled`` loop).
+
+It intentionally does NOT track the live model code — do not "optimize"
+this file. Autograd closure bookkeeping is omitted, which only makes the
+baseline *faster* than the true original, so reported speedups are
+conservative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _legacy_im2col(x: np.ndarray, kh: int, kw: int, stride: int = 1) -> np.ndarray:
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    cols = np.empty((n, c, kh, kw, out_h * out_w), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            patch = x[
+                :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+            ]
+            cols[:, :, i, j, :] = patch.reshape(n, c, out_h * out_w)
+    return cols.reshape(n, c * kh * kw, out_h * out_w)
+
+
+def _legacy_conv(x: np.ndarray, conv) -> np.ndarray:
+    """Apply a ``repro.neural.layers.Conv2d``'s weights the original way."""
+    pad = conv.padding
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    n, _, h, w = x.shape
+    weight = np.asarray(conv.weight.data, dtype=np.float64)
+    c_out, _, kh, kw = weight.shape
+    out_h = (h - kh) // conv.stride + 1
+    out_w = (w - kw) // conv.stride + 1
+    cols = _legacy_im2col(x, kh, kw, conv.stride)
+    out = np.matmul(weight.reshape(c_out, -1), cols).reshape(n, c_out, out_h, out_w)
+    if conv.bias is not None:
+        out = out + np.asarray(conv.bias.data, dtype=np.float64).reshape(1, c_out, 1, 1)
+    return out
+
+
+def _legacy_bilinear_skip(x: np.ndarray, factor: int) -> np.ndarray:
+    from repro.sr.interpolate import bilinear
+
+    n, c, h, w = x.shape
+    out = np.empty((n, c, h * factor, w * factor), dtype=np.float64)
+    for i in range(n):
+        hwc = np.ascontiguousarray(x[i].transpose(1, 2, 0))
+        out[i] = bilinear(hwc, h * factor, w * factor).transpose(2, 0, 1)
+    return out
+
+
+def legacy_edsr_forward(model, x: np.ndarray) -> np.ndarray:
+    """Original float64 EDSR forward on an (N, C, H, W) array."""
+    x = np.asarray(x, dtype=np.float64)
+    feats = _legacy_conv(x, model.head)
+    y = feats
+    for block in model.body:
+        z = _legacy_conv(y, block.conv1)
+        z = np.maximum(z, 0.0)  # fresh array, like Tensor.relu()
+        z = _legacy_conv(z, block.conv2)
+        y = y + z * block.res_scale
+    y = _legacy_conv(y, model.body_tail) + feats
+    for stage in model.upsampler.stages:
+        if hasattr(stage, "weight"):  # Conv2d
+            y = _legacy_conv(y, stage)
+        else:  # PixelShuffle
+            r = stage.factor
+            n, c, h, w = y.shape
+            y = (
+                y.reshape(n, c // (r * r), r, r, h, w)
+                .transpose(0, 1, 4, 2, 5, 3)
+                .reshape(n, c // (r * r), h * r, w * r)
+            )
+    y = _legacy_conv(y, model.tail)
+    return y + _legacy_bilinear_skip(x, model.scale)
+
+
+def legacy_upscale_tiled(
+    model, image: np.ndarray, tile: int = 64, overlap: int = 8
+) -> np.ndarray:
+    """The original per-tile loop: one float64 forward per tile."""
+    image = np.asarray(image, dtype=np.float64)
+    h, w, c = image.shape
+    s = model.scale
+    out = np.zeros((h * s, w * s, c))
+
+    step = tile - 2 * overlap
+    y = 0
+    while y < h:
+        x = 0
+        core_h = min(step, h - y)
+        y0 = max(y - overlap, 0)
+        y1 = min(y + core_h + overlap, h)
+        while x < w:
+            core_w = min(step, w - x)
+            x0 = max(x - overlap, 0)
+            x1 = min(x + core_w + overlap, w)
+            batch = image[y0:y1, x0:x1].transpose(2, 0, 1)[None]
+            tile_hr = legacy_edsr_forward(model, batch)[0].transpose(1, 2, 0)
+            tile_hr = np.clip(tile_hr, 0.0, 1.0)
+            cy = (y - y0) * s
+            cx = (x - x0) * s
+            out[y * s : (y + core_h) * s, x * s : (x + core_w) * s] = tile_hr[
+                cy : cy + core_h * s, cx : cx + core_w * s
+            ]
+            x += step
+        y += step
+    return np.clip(out, 0.0, 1.0)

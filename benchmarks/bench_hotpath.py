@@ -1,0 +1,256 @@
+"""Hot-path trajectory benchmark: conv2d, tiled SR, end-to-end session.
+
+Measures the fast inference path (float32, graph-free forwards, fused
+pad+im2col, batched tiles, tuned allocator) against the frozen pre-PR
+reference implementation in ``_legacy_inference.py`` and writes the
+numbers to ``BENCH_hotpath.json`` at the repo root so the speedup
+trajectory survives across PRs. Run::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py          # full run
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke  # seconds, CI
+
+The full run uses the experiment-profile EDSR on a rendered 256x448 G3
+frame and asserts the PR's acceptance criteria (fast ``upscale_tiled``
+>= 3x over the legacy per-tile loop; float32 within >= 60 dB PSNR of
+float64). Smoke mode swaps in a tiny untrained model and a small frame to
+exercise every code path quickly (no speedup assertions — tiny shapes
+don't amortize anything) and writes ``BENCH_hotpath.smoke.json`` instead.
+
+The legacy baseline is timed in a pristine subprocess with
+``REPRO_NO_MALLOC_TUNING=1`` so it runs under glibc's untouched (dynamic)
+malloc defaults, exactly as the original code did — calling ``mallopt``
+to "reset" thresholds in-process would disable glibc's dynamic threshold
+adaptation and unfairly slow the baseline down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.neural import EDSR, Tensor, no_grad  # noqa: E402
+from repro.neural.layers import Conv2d  # noqa: E402
+from repro.neural.tensor import set_inference_dtype  # noqa: E402
+from repro.metrics.psnr import psnr  # noqa: E402
+from repro.sr.runner import SRRunner  # noqa: E402
+
+from _legacy_inference import legacy_upscale_tiled  # noqa: E402
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time in seconds (fn is called once to warm up)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_conv2d(channels: int, height: int, width: int, repeats: int) -> dict:
+    conv = Conv2d(channels, channels, 3, rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).uniform(size=(1, channels, height, width))
+
+    def run(dtype) -> None:
+        with no_grad(dtype=dtype):
+            conv(Tensor(x))
+
+    f64 = _time(lambda: run(np.float64), repeats)
+    f32 = _time(lambda: run(np.float32), repeats)
+    return {
+        "shape": [1, channels, height, width],
+        "f64_ms": round(f64 * 1e3, 3),
+        "f32_ms": round(f32 * 1e3, 3),
+        "f32_speedup": round(f64 / f32, 2),
+    }
+
+
+def _legacy_baseline_subprocess(smoke: bool, repeats: int) -> float:
+    """Time the frozen pre-PR loop in a fresh untuned-allocator process."""
+    import subprocess
+
+    env = dict(os.environ)
+    env["REPRO_NO_MALLOC_TUNING"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    cmd = [sys.executable, str(Path(__file__).resolve()), "--legacy-only"]
+    if smoke:
+        cmd.append("--smoke")
+    out = subprocess.run(
+        cmd, env=env, capture_output=True, text=True, check=True, cwd=str(REPO_ROOT)
+    )
+    return float(json.loads(out.stdout.strip().splitlines()[-1])["legacy_loop_f64_s"])
+
+
+def _bench_upscale_tiled(model, image: np.ndarray, legacy_s: float, repeats: int) -> dict:
+    runner = SRRunner(model)
+    h, w = image.shape[:2]
+
+    fast_whole_s = _time(
+        lambda: runner.upscale_tiled(image, tile=max(h, w) * 2, overlap=0), repeats
+    )
+    fast_batched_s = _time(
+        lambda: runner.upscale_tiled(image, tile=144, overlap=8, batch_size=2), repeats
+    )
+    fast_loop_s = _time(
+        lambda: runner.upscale_tiled(image, tile=64, overlap=8, batched=False), repeats
+    )
+
+    out_f32 = runner.upscale_tiled(image, tile=max(h, w) * 2, overlap=0)
+    prev = set_inference_dtype(np.float64)
+    try:
+        out_f64 = runner.upscale_tiled(image, tile=max(h, w) * 2, overlap=0)
+    finally:
+        set_inference_dtype(prev)
+
+    return {
+        "frame_hw": [h, w],
+        "legacy_loop_f64_s": round(legacy_s, 4),
+        "fast_whole_frame_s": round(fast_whole_s, 4),
+        "fast_batched_tile144_s": round(fast_batched_s, 4),
+        "fast_loop_f32_s": round(fast_loop_s, 4),
+        "speedup_whole_vs_legacy": round(legacy_s / fast_whole_s, 2),
+        "speedup_batched_vs_legacy": round(legacy_s / fast_batched_s, 2),
+        "f32_vs_f64_psnr_db": round(psnr(out_f64, out_f32), 1),
+    }
+
+
+def _bench_session(smoke: bool) -> dict:
+    """Wall-time one short end-to-end streaming session (uncached)."""
+    from repro.analysis.experiments import quality_geometry, _run_one_session
+    from repro.streaming.frames import StreamGeometry
+
+    if smoke:
+        geometry = StreamGeometry(
+            eval_lr_height=32, eval_lr_width=48, lr_source="downsample"
+        )
+        n_frames = 2
+    else:
+        geometry = quality_geometry()
+        n_frames = 4
+
+    def run():
+        return _run_one_session(
+            game_id="G1",
+            device_name="samsung_tab_s8",
+            design="gamestreamsr",
+            geometry=geometry,
+            n_frames=n_frames,
+            gop_size=4,
+            quality=60,
+            evaluate_quality=True,
+        )
+
+    t0 = time.perf_counter()
+    result = run()
+    wall = time.perf_counter() - t0
+    return {
+        "design": "gamestreamsr",
+        "geometry_lr_hw": [geometry.eval_lr_height, geometry.eval_lr_width],
+        "n_frames": n_frames,
+        "wall_s": round(wall, 3),
+        "wall_s_per_frame": round(wall / n_frames, 3),
+        "mean_psnr_db": round(result.mean_psnr(), 2),
+    }
+
+
+def _bench_subject(smoke: bool):
+    """The (model, 256x448-or-small frame) pair both bench modes measure."""
+    if smoke:
+        model = EDSR(scale=2, n_resblocks=2, n_feats=8, seed=0)
+        image = np.random.default_rng(0).uniform(size=(64, 96, 3))
+    else:
+        from repro.analysis.prerender import rendered_sequence
+        from repro.sr.pretrained import default_sr_model
+
+        model = default_sr_model()
+        image = rendered_sequence("G3", width=448, height=256, n_frames=2).frame(0).color
+    return model, image
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny model + small frame; no speedup assertions",
+    )
+    parser.add_argument(
+        "--legacy-only",
+        action="store_true",
+        help="internal: time just the frozen legacy loop and print JSON "
+        "(run by the parent bench in an untuned-allocator subprocess)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.legacy_only:
+        model, image = _bench_subject(args.smoke)
+        legacy_s = _time(
+            lambda: legacy_upscale_tiled(model, image, tile=64, overlap=8),
+            1 if args.smoke else 2,
+        )
+        print(json.dumps({"legacy_loop_f64_s": legacy_s}))
+        return 0
+
+    legacy_s = _legacy_baseline_subprocess(args.smoke, repeats=1 if args.smoke else 2)
+    model, image = _bench_subject(args.smoke)
+    if args.smoke:
+        conv = _bench_conv2d(channels=8, height=32, width=32, repeats=2)
+        tiled = _bench_upscale_tiled(model, image, legacy_s, repeats=1)
+    else:
+        conv = _bench_conv2d(channels=64, height=128, width=224, repeats=3)
+        tiled = _bench_upscale_tiled(model, image, legacy_s, repeats=3)
+
+    session = _bench_session(smoke=args.smoke)
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "machine": {
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+        },
+        "conv2d_forward": conv,
+        "upscale_tiled": tiled,
+        "session": session,
+    }
+
+    failures = []
+    if not args.smoke:
+        # PR acceptance criteria — keep asserting them so regressions in the
+        # fast path show up as a failing bench, not a silently smaller number.
+        if tiled["speedup_whole_vs_legacy"] < 3.0:
+            failures.append(
+                f"fast upscale_tiled speedup {tiled['speedup_whole_vs_legacy']}x < 3x"
+            )
+        if tiled["f32_vs_f64_psnr_db"] < 60.0:
+            failures.append(
+                f"f32 vs f64 PSNR {tiled['f32_vs_f64_psnr_db']} dB < 60 dB"
+            )
+    report["criteria_failures"] = failures
+
+    name = "BENCH_hotpath.smoke.json" if args.smoke else "BENCH_hotpath.json"
+    out_path = REPO_ROOT / name
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out_path}", file=sys.stderr)
+    if failures:
+        print("CRITERIA FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: fast correctness tests + a smoke pass of the hot-path bench.
+#
+#   scripts/check.sh            # what CI / pre-merge should run
+#
+# The full benchmark (with speedup acceptance criteria) is a separate,
+# longer run:  PYTHONPATH=src python benchmarks/bench_hotpath.py
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="${PWD}/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -q -m tier1
+
+echo "== hot-path bench (smoke) =="
+python benchmarks/bench_hotpath.py --smoke >/dev/null
+echo "ok: wrote BENCH_hotpath.smoke.json"

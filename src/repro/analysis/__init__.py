@@ -14,6 +14,7 @@ from .experiments import (
     sota_timeline,
     upscale_factor_tradeoff,
 )
+from .parallel import default_worker_count, run_session_matrix
 from .prerender import FrameBundle, PrerenderedWorkload, rendered_sequence
 from .tables import fmt, format_paper_vs_measured, format_table
 
@@ -24,6 +25,7 @@ __all__ = [
     "PrerenderedWorkload",
     "bandwidth_comparison",
     "default_runner",
+    "default_worker_count",
     "fmt",
     "format_paper_vs_measured",
     "format_table",
@@ -34,6 +36,7 @@ __all__ = [
     "quality_sessions",
     "rendered_sequence",
     "roi_sizing_table",
+    "run_session_matrix",
     "sota_timeline",
     "upscale_factor_tradeoff",
 ]

@@ -35,6 +35,7 @@ from ..streaming.client import (
 from ..streaming.frames import StreamGeometry
 from ..streaming.server import GameStreamServer
 from ..streaming.session import SessionResult, run_session
+from .parallel import run_session_matrix
 from .prerender import PrerenderedWorkload, rendered_sequence
 
 __all__ = [
@@ -164,8 +165,30 @@ def performance_sessions(
     game_ids: Sequence[str] = ("G1", "G3", "G5", "G7", "G10"),
     designs: Sequence[str] = ("gamestreamsr", "nemo"),
     n_frames: int = PERF_FRAMES,
+    workers: int | None = None,
 ) -> Dict[str, Dict[str, SessionResult]]:
-    """Latency/energy sessions per design per game (cached)."""
+    """Latency/energy sessions per design per game (cached).
+
+    Uncached cells of the (design, game) matrix are built in parallel
+    across ``workers`` processes (see :mod:`repro.analysis.parallel`);
+    the artifacts are identical to what the serial path would produce.
+    """
+    tasks = [
+        (
+            "perf",
+            dict(
+                game_id=game_id,
+                device_name=device_name,
+                design=design,
+                n_frames=n_frames,
+                gop_size=n_frames,
+                quality=STREAM_QUALITY,
+            ),
+        )
+        for design in designs
+        for game_id in game_ids
+    ]
+    run_session_matrix(tasks, workers=workers)
     out: Dict[str, Dict[str, SessionResult]] = {}
     for design in designs:
         out[design] = {}
@@ -189,8 +212,29 @@ def quality_sessions(
     n_frames: int = QUALITY_FRAMES,
     gop_size: int = QUALITY_GOP,
     with_lpips: bool = True,
+    workers: int | None = None,
 ) -> Dict[str, SessionResult]:
-    """Pixel-true quality sessions per design for one game (cached)."""
+    """Pixel-true quality sessions per design for one game (cached).
+
+    Like :func:`performance_sessions`, missing designs are built in
+    parallel before the results are read back from the cache.
+    """
+    tasks = [
+        (
+            "quality",
+            dict(
+                game_id=game_id,
+                device_name=device_name,
+                design=design,
+                n_frames=n_frames,
+                gop_size=gop_size,
+                quality=STREAM_QUALITY,
+                with_lpips=with_lpips,
+            ),
+        )
+        for design in designs
+    ]
+    run_session_matrix(tasks, workers=workers)
     return {
         design: _cached_session(
             "quality",

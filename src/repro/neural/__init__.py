@@ -5,6 +5,7 @@ runs its EDSR super-resolution model on. See DESIGN.md for the substitution
 rationale.
 """
 
+from .alloc import reset_malloc_defaults, tune_malloc_for_large_arrays
 from .functional import avg_pool2d, conv2d, pixel_shuffle
 from .layers import (
     Conv2d,
@@ -20,7 +21,16 @@ from .loss import charbonnier_loss, l1_loss, mse_loss
 from .models import EDSR, FSRCNNLite
 from .optim import Adam, SGD, clip_grad_norm
 from .serialization import load_state, load_weights, save_weights
-from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor,
+    active_dtype,
+    as_tensor,
+    concat,
+    get_inference_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_inference_dtype,
+)
 
 __all__ = [
     "Adam",
@@ -36,8 +46,11 @@ __all__ = [
     "Sequential",
     "Tensor",
     "Upsampler",
+    "active_dtype",
     "as_tensor",
     "avg_pool2d",
+    "get_inference_dtype",
+    "set_inference_dtype",
     "charbonnier_loss",
     "clip_grad_norm",
     "concat",
@@ -49,5 +62,12 @@ __all__ = [
     "mse_loss",
     "no_grad",
     "pixel_shuffle",
+    "reset_malloc_defaults",
     "save_weights",
+    "tune_malloc_for_large_arrays",
 ]
+
+# Large-array allocator tuning is part of the fast inference path: without
+# it every multi-MB conv temporary is a fresh mmap + page-fault storm.
+# Honours REPRO_NO_MALLOC_TUNING=1; no-op on non-glibc platforms.
+tune_malloc_for_large_arrays()

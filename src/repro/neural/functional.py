@@ -2,16 +2,155 @@
 
 conv2d uses an im2col/col2im formulation so both forward and backward run
 as large matmuls — the only way a pure-numpy CNN is fast enough to train
-the SR models in-repo.
+the SR models in-repo. All ops follow the input dtype: under
+``no_grad()`` activations are float32 (see the dtype policy in
+:mod:`repro.neural.tensor`) and the float64 weights are cast once per
+call so the BLAS matmul runs entirely at reduced precision.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, is_grad_enabled
 
 __all__ = ["conv2d", "pixel_shuffle", "avg_pool2d", "im2col", "col2im"]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _fill_cols(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    oy0: int,
+    oy1: int,
+    buf: np.ndarray,
+) -> None:
+    """Fused zero-pad + im2col for output rows ``[oy0, oy1)``.
+
+    Writes the columns for ``np.pad(x, pad)`` into ``buf`` (shaped
+    (N, C, kh, kw, oy1-oy0, out_w)) without ever materializing the padded
+    array: each kernel tap copies only the slice of ``x`` it can actually
+    see and zero-fills the border strips of its destination directly.
+    """
+    n, c, h, w = x.shape
+    ow = buf.shape[-1]
+    for i in range(kh):
+        # Output rows oy read input row (i - pad + oy*stride); keep the
+        # range where that lands inside [0, h).
+        y0 = max(oy0, _ceil_div(pad - i, stride))
+        y1 = min(oy1 - 1, (h - 1 - i + pad) // stride)
+        for j in range(kw):
+            x0 = max(0, _ceil_div(pad - j, stride))
+            x1 = min(ow - 1, (w - 1 - j + pad) // stride)
+            dst = buf[:, :, i, j]
+            if y0 > y1 or x0 > x1:
+                dst[:] = 0
+                continue
+            d0, d1 = y0 - oy0, y1 - oy0
+            if d0 > 0:
+                dst[:, :, :d0] = 0
+            if d1 < dst.shape[2] - 1:
+                dst[:, :, d1 + 1 :] = 0
+            if x0 > 0:
+                dst[:, :, d0 : d1 + 1, :x0] = 0
+            if x1 < ow - 1:
+                dst[:, :, d0 : d1 + 1, x1 + 1 :] = 0
+            r0 = i - pad + y0 * stride
+            c0 = j - pad + x0 * stride
+            dst[:, :, d0 : d1 + 1, x0 : x1 + 1] = x[
+                :,
+                :,
+                r0 : r0 + (y1 - y0) * stride + 1 : stride,
+                c0 : c0 + (x1 - x0) * stride + 1 : stride,
+            ]
+
+
+def _out_hw(shape, kh: int, kw: int, stride: int, pad: int) -> tuple[int, int]:
+    h, w = shape[2], shape[3]
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, stride {stride}) larger than input "
+            f"({h}x{w}, padding {pad})"
+        )
+    return out_h, out_w
+
+
+def _im2col_padded(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Fused zero-pad + im2col over the full output.
+
+    Returns ``(cols, out_h, out_w)`` with ``cols`` shaped (N, C*kh*kw, L).
+    """
+    n, c, h, w = x.shape
+    out_h, out_w = _out_hw(x.shape, kh, kw, stride, pad)
+    if kh == 1 and kw == 1 and stride == 1 and pad == 0:
+        return x.reshape(n, c, h * w), out_h, out_w  # view, no copy
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    _fill_cols(x, kh, kw, stride, pad, 0, out_h, cols)
+    return cols.reshape(n, c * kh * kw, out_h * out_w), out_h, out_w
+
+
+#: im2col working-set target per GEMM call on the inference path. Chunks
+#: of the column buffer this size stay cache-resident between the tap
+#: copies and the GEMM that consumes them, instead of round-tripping a
+#: buffer that for a 3x3 conv on an HR frame is hundreds of MB through
+#: DRAM. ~L2-sized is the measured sweet spot (5x on that HR conv; sizes
+#: from 256 KiB to 4 MiB are all within ~15% of it).
+_CONV_CHUNK_BYTES = 1 << 20
+
+
+def _conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Graph-free conv2d forward on raw arrays (the inference hot path).
+
+    Cache-blocked: the column buffer is built and consumed a few output
+    rows at a time so it never round-trips through DRAM.
+    """
+    n, c = x.shape[0], x.shape[1]
+    c_out, _, kh, kw = weight.shape
+    out_h, out_w = _out_hw(x.shape, kh, kw, stride, padding)
+    w2 = weight.reshape(c_out, -1)
+    if w2.dtype != x.dtype:
+        w2 = w2.astype(x.dtype)  # float32 inference path
+    out = np.empty((n, c_out, out_h, out_w), dtype=x.dtype)
+    out3 = out.reshape(n, c_out, out_h * out_w)
+
+    if kh == 1 and kw == 1 and stride == 1 and padding == 0:
+        np.matmul(w2, x.reshape(n, c, -1), out=out3)
+    else:
+        k = c * kh * kw
+        rows = max(1, _CONV_CHUNK_BYTES // (n * k * out_w * x.dtype.itemsize))
+        if rows >= out_h:
+            cols, _, _ = _im2col_padded(x, kh, kw, stride, padding)
+            np.matmul(w2, cols, out=out3)
+        else:
+            buf = np.empty((n, c, kh, kw, rows, out_w), dtype=x.dtype)
+            for oy0 in range(0, out_h, rows):
+                oy1 = min(out_h, oy0 + rows)
+                chunk = buf if oy1 - oy0 == rows else buf[:, :, :, :, : oy1 - oy0]
+                _fill_cols(x, kh, kw, stride, padding, oy0, oy1, chunk)
+                out[:, :, oy0:oy1] = np.matmul(
+                    w2, chunk.reshape(n, k, -1)
+                ).reshape(n, c_out, oy1 - oy0, out_w)
+
+    if bias is not None:
+        b = bias if bias.dtype == out.dtype else bias.astype(out.dtype)
+        out += b.reshape(1, c_out, 1, 1)
+    return out
 
 
 def im2col(
@@ -29,13 +168,19 @@ def im2col(
         raise ValueError(
             f"kernel ({kh}x{kw}, stride {stride}) larger than input ({h}x{w})"
         )
-    # One contiguous slice-copy per kernel tap (kh*kw copies total) is far
-    # cheaper than gathering a strided window view.
-    cols = np.empty((n, c, kh, kw, out_h * out_w), dtype=x.dtype)
+    if kh == 1 and kw == 1 and stride == 1:
+        return x.reshape(n, c, h * w)  # pointwise conv: a view, no copy
+    # One slice-copy per kernel tap (kh*kw copies total), written straight
+    # into the 6-D view of the column buffer — a single strided pass per
+    # tap. (Reshaping the strided patch first would materialize it and
+    # double the memory traffic; this copy is what dominates conv2d's
+    # runtime, not the GEMM.)
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
     for i in range(kh):
         for j in range(kw):
-            patch = x[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride]
-            cols[:, :, i, j, :] = patch.reshape(n, c, out_h * out_w)
+            cols[:, :, i, j] = x[
+                :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+            ]
     return cols.reshape(n, c * kh * kw, out_h * out_w)
 
 
@@ -87,6 +232,19 @@ def conv2d(
     if stride < 1:
         raise ValueError(f"stride must be >= 1, got {stride}")
 
+    needs_tape = is_grad_enabled() and (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    if not needs_tape:
+        # Graph-free fast path: fused pad+im2col, no Tensor intermediates.
+        return Tensor(
+            _conv2d_forward(
+                x.data, weight.data, None if bias is None else bias.data, stride, padding
+            )
+        )
+
     xp = x.pad2d(padding) if padding else x
     n, c, h, w = xp.shape
     c_out, _, kh, kw = weight.shape
@@ -95,10 +253,15 @@ def conv2d(
 
     cols = im2col(xp.data, kh, kw, stride)  # (N, C*kh*kw, L)
     w2 = weight.data.reshape(c_out, -1)  # (O, C*kh*kw)
+    if w2.dtype != cols.dtype:
+        w2 = w2.astype(cols.dtype)  # float32 inference path
     out_data = np.matmul(w2, cols)  # (N, O, L) via BLAS
     out_data = out_data.reshape(n, c_out, out_h, out_w)
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+        b = bias.data
+        if b.dtype != out_data.dtype:
+            b = b.astype(out_data.dtype)
+        out_data += b.reshape(1, c_out, 1, 1)
 
     parents = (xp, weight) if bias is None else (xp, weight, bias)
 
@@ -139,6 +302,8 @@ def pixel_shuffle(x: Tensor, factor: int) -> Tensor:
         .transpose(0, 1, 4, 2, 5, 3)
         .reshape(n, c_out, h * r, w * r)
     )
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         g = (
@@ -161,6 +326,8 @@ def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
         raise ValueError(f"spatial dims {h}x{w} not divisible by kernel {kernel}")
     oh, ow = h // kernel, w // kernel
     out_data = x.data.reshape(n, c, oh, kernel, ow, kernel).mean(axis=(3, 5))
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         g = grad[:, :, :, None, :, None] / (kernel * kernel)

@@ -13,7 +13,7 @@ import numpy as np
 
 from . import functional as F
 from .init import kaiming_uniform, zeros
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "Module",
@@ -204,6 +204,16 @@ class ResidualBlock(Module):
         self.res_scale = res_scale
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            # Inference: the conv outputs are block-private, so the ReLU,
+            # residual scale, and skip-add can all run in place — no
+            # multi-MB temporaries per block.
+            y = self.conv1(x)
+            np.maximum(y.data, 0.0, out=y.data)
+            y = self.conv2(y)
+            y.data *= self.res_scale
+            y.data += x.data
+            return y
         out = self.conv2(self.conv1(x).relu())
         return x + out * self.res_scale
 

@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from .layers import Conv2d, Module, PReLU, ResidualBlock, Sequential, Upsampler
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["EDSR", "FSRCNNLite", "PAPER_EDSR_BLOCKS", "PAPER_EDSR_CHANNELS"]
 
@@ -31,18 +31,32 @@ PAPER_EDSR_CHANNELS = 64
 
 
 def _bilinear_skip(x_data: np.ndarray, factor: int) -> np.ndarray:
-    """Bilinear-upscale an (N, C, H, W) batch by ``factor`` (no gradient)."""
-    # Imported here (not at module top) to avoid a package import cycle:
-    # repro.sr re-exports the pretrained models, which import this module.
-    from ..sr.interpolate import bilinear
+    """Bilinear-upscale an (N, C, H, W) batch by ``factor`` (no gradient).
 
+    Vectorised over the whole batch and computed in the input dtype
+    (float32 on the inference path), matching
+    :func:`repro.sr.interpolate.bilinear` — same "align corners = False"
+    coordinates and the same x-then-y lerp order, so float64 results are
+    bit-identical to the image-space filter.
+    """
     n, c, h, w = x_data.shape
-    out = np.empty((n, c, h * factor, w * factor), dtype=np.float64)
-    for i in range(n):
-        # (C, H, W) -> (H, W, C) for the image-space filter, then back.
-        hwc = np.ascontiguousarray(x_data[i].transpose(1, 2, 0))
-        out[i] = bilinear(hwc, h * factor, w * factor).transpose(2, 0, 1)
-    return out
+    dt = x_data.dtype
+
+    def _axis(out_size: int, in_size: int):
+        # Same expression as interpolate._source_coords (multiply by the
+        # reciprocal scale, not divide) so coords match to the last ulp.
+        scale = in_size / out_size
+        coords = (np.arange(out_size, dtype=np.float64) + 0.5) * scale - 0.5
+        lo = np.clip(np.floor(coords), 0, in_size - 1).astype(np.intp)
+        hi = np.minimum(lo + 1, in_size - 1)
+        frac = np.clip(coords - lo, 0.0, 1.0).astype(dt)
+        return lo, hi, frac
+
+    y0, y1, wy = _axis(h * factor, h)
+    x0, x1, wx = _axis(w * factor, w)
+    cols = x_data[..., x0] * (1 - wx) + x_data[..., x1] * wx
+    wy = wy[:, None]
+    return cols[:, :, y0] * (1 - wy) + cols[:, :, y1] * wy
 
 
 class EDSR(Module):
@@ -91,6 +105,14 @@ class EDSR(Module):
                 f"expected {self.channels} channels, got {x.shape[1]}"
             )
         feats = self.head(x)
+        if not is_grad_enabled():
+            # Inference: fold the global feature skip and the bilinear skip
+            # into the freshly produced activations in place.
+            body_out = self.body_tail(self.body(feats))
+            body_out.data += feats.data
+            out = self.tail(self.upsampler(body_out))
+            out.data += _bilinear_skip(x.data, self.scale)
+            return out
         body_out = self.body_tail(self.body(feats)) + feats  # global feature skip
         residual = self.tail(self.upsampler(body_out))
         skip = Tensor(_bilinear_skip(x.data, self.scale))

@@ -13,11 +13,24 @@ __all__ = ["save_weights", "load_weights", "load_state"]
 
 
 def save_weights(model: Module, path: str | os.PathLike) -> None:
-    """Write the model's state dict to ``path`` (npz)."""
+    """Write the model's state dict to ``path`` (npz), atomically.
+
+    The archive is written to a ``.tmp`` sibling and moved into place with
+    :func:`os.replace`, so an interrupted run can never leave a truncated
+    checkpoint behind (the same pattern ``repro.cache.load_or_build``
+    uses for pickled artifacts).
+    """
     state = model.state_dict()
-    os.makedirs(os.path.dirname(os.fspath(path)) or ".", exist_ok=True)
-    # npz keys cannot contain '/', '.' is fine.
-    np.savez_compressed(os.fspath(path), **state)
+    target = os.fspath(path)
+    os.makedirs(os.path.dirname(target) or ".", exist_ok=True)
+    tmp = target + ".tmp"
+    # npz keys cannot contain '/', '.' is fine. np.savez appends ".npz"
+    # unless the filename already ends with it, so write to an explicit
+    # .npz temp name and rename afterwards.
+    tmp_npz = tmp if tmp.endswith(".npz") else tmp + ".npz"
+    with open(tmp_npz, "wb") as fh:
+        np.savez_compressed(fh, **state)
+    os.replace(tmp_npz, target)
 
 
 def load_state(path: str | os.PathLike) -> Dict[str, np.ndarray]:

@@ -2,13 +2,23 @@
 
 This is the foundation of :mod:`repro.neural`, the from-scratch substitute
 for the PyTorch/TensorFlow-Lite stack the paper runs its EDSR model on
-(Sec. V-A). A :class:`Tensor` wraps a float64 ndarray and records the ops
+(Sec. V-A). A :class:`Tensor` wraps a float ndarray and records the ops
 applied to it; :meth:`Tensor.backward` walks the tape in reverse
 topological order accumulating gradients.
 
 Only the operations the SR models need are implemented, but they are
 implemented completely (full broadcasting support with gradient
 "unbroadcasting", slicing, reductions, matmul over batched operands).
+
+Dtype policy
+------------
+Training always runs in float64 (gradient checks in the test suite rely
+on it). Inference — anything executed under :class:`no_grad` — runs at a
+configurable reduced precision (float32 by default, see
+:func:`set_inference_dtype`), halving the memory bandwidth of the big
+im2col matmuls that dominate SR forward passes. Ops executed while the
+tape is disabled also skip parent tracking and never allocate their
+backward closures, so inference builds no graph at all.
 """
 
 from __future__ import annotations
@@ -17,30 +27,93 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_inference_dtype",
+    "get_inference_dtype",
+    "active_dtype",
+]
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _GRAD_ENABLED = True
 
+#: Dtype used while the tape is recording (training / gradient checks).
+_TRAIN_DTYPE = np.dtype(np.float64)
+#: Dtype adopted by tensors created while grad is disabled.
+_INFERENCE_DTYPE = np.dtype(np.float32)
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_inference_dtype(dtype) -> np.dtype:
+    """Set the dtype used for tensors created under :class:`no_grad`.
+
+    Returns the previous inference dtype. Only float32 and float64 are
+    supported.
+    """
+    global _INFERENCE_DTYPE
+    new = np.dtype(dtype)
+    if new not in _FLOAT_DTYPES:
+        raise ValueError(f"inference dtype must be float32 or float64, got {new}")
+    previous = _INFERENCE_DTYPE
+    _INFERENCE_DTYPE = new
+    return previous
+
+
+def get_inference_dtype() -> np.dtype:
+    """The dtype tensors adopt while grad is disabled."""
+    return _INFERENCE_DTYPE
+
+
+def active_dtype() -> np.dtype:
+    """The dtype newly created tensors adopt right now."""
+    return _TRAIN_DTYPE if _GRAD_ENABLED else _INFERENCE_DTYPE
+
 
 class no_grad:
-    """Context manager disabling tape recording (used for inference)."""
+    """Context manager disabling tape recording (used for inference).
+
+    Optionally overrides the inference dtype for the duration of the
+    block: ``with no_grad(dtype=np.float64): ...`` runs a full-precision
+    inference (used by the numerical-equivalence tests and benches).
+    """
+
+    def __init__(self, dtype=None) -> None:
+        self._dtype = None if dtype is None else np.dtype(dtype)
 
     def __enter__(self) -> "no_grad":
         global _GRAD_ENABLED
         self._prev = _GRAD_ENABLED
         _GRAD_ENABLED = False
+        self._prev_dtype: Optional[np.dtype] = None
+        if self._dtype is not None:
+            self._prev_dtype = set_inference_dtype(self._dtype)
         return self
 
     def __exit__(self, *exc) -> None:
         global _GRAD_ENABLED
         _GRAD_ENABLED = self._prev
+        if self._prev_dtype is not None:
+            set_inference_dtype(self._prev_dtype)
 
 
 def is_grad_enabled() -> bool:
     """Whether new ops are currently recorded on the autograd tape."""
     return _GRAD_ENABLED
+
+
+def _tape_off(*tensors: "Tensor") -> bool:
+    """True when the op needs no graph: grad disabled or no grad inputs."""
+    if not _GRAD_ENABLED:
+        return True
+    for t in tensors:
+        if t.requires_grad:
+            return False
+    return True
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -72,7 +145,12 @@ class Tensor:
         _backward: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        arr = np.asarray(data)
+        if arr.dtype not in _FLOAT_DTYPES:
+            arr = arr.astype(_TRAIN_DTYPE)
+        if not _GRAD_ENABLED and arr.dtype != _INFERENCE_DTYPE:
+            arr = arr.astype(_INFERENCE_DTYPE)
+        self.data = arr
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
         self._parents = _parents if _GRAD_ENABLED else ()
@@ -94,6 +172,10 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
     def numpy(self) -> np.ndarray:
         """The underlying ndarray (shared, not copied)."""
         return self.data
@@ -104,6 +186,10 @@ class Tensor:
     def detach(self) -> "Tensor":
         """A new tensor sharing data but cut from the tape."""
         return Tensor(self.data, requires_grad=False)
+
+    def astype(self, dtype) -> "Tensor":
+        """A grad-free copy of this tensor cast to ``dtype``."""
+        return Tensor(self.data.astype(np.dtype(dtype)))
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -141,10 +227,16 @@ class Tensor:
 
     # ------------------------------------------------------------------
     # arithmetic
+    #
+    # Every op follows the same shape: compute the forward result, and if
+    # the tape is off return a bare Tensor immediately — the backward
+    # closure (and any intermediate it would capture) is never created.
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data + other.data
+        if _tape_off(self, other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad, self.shape))
@@ -157,6 +249,8 @@ class Tensor:
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data * other.data
+        if _tape_off(self, other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad * other.data, self.shape))
@@ -168,6 +262,8 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         out_data = -self.data
+        if _tape_off(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
@@ -183,6 +279,8 @@ class Tensor:
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data / other.data
+        if _tape_off(self, other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad / other.data, self.shape))
@@ -199,6 +297,8 @@ class Tensor:
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data**exponent
+        if _tape_off(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
@@ -208,6 +308,8 @@ class Tensor:
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data @ other.data
+        if _tape_off(self, other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             a, b = self.data, other.data
@@ -226,6 +328,8 @@ class Tensor:
     # elementwise nonlinearities
 
     def relu(self) -> "Tensor":
+        if _tape_off(self):
+            return Tensor(np.maximum(self.data, 0))
         mask = self.data > 0
         out_data = self.data * mask
 
@@ -236,6 +340,8 @@ class Tensor:
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
+        if _tape_off(self):
+            return Tensor(out_data)
         sign = np.sign(self.data)
 
         def backward(grad: np.ndarray) -> None:
@@ -245,6 +351,8 @@ class Tensor:
 
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if _tape_off(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
@@ -253,6 +361,8 @@ class Tensor:
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
+        if _tape_off(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
@@ -261,6 +371,8 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if _tape_off(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1 - out_data**2))
@@ -269,6 +381,8 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
+        if _tape_off(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1 - out_data))
@@ -277,6 +391,8 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
+        if _tape_off(self):
+            return Tensor(out_data)
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(grad: np.ndarray) -> None:
@@ -289,6 +405,8 @@ class Tensor:
 
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if _tape_off(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             g = np.asarray(grad)
@@ -313,6 +431,8 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
+        if _tape_off(self):
+            return Tensor(out_data)
         in_shape = self.shape
 
         def backward(grad: np.ndarray) -> None:
@@ -323,6 +443,8 @@ class Tensor:
     def transpose(self, *axes: int) -> "Tensor":
         axes_t = tuple(axes) if axes else tuple(reversed(range(self.ndim)))
         out_data = self.data.transpose(axes_t)
+        if _tape_off(self):
+            return Tensor(out_data)
         inverse = np.argsort(axes_t)
 
         def backward(grad: np.ndarray) -> None:
@@ -332,6 +454,8 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if _tape_off(self):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
@@ -348,6 +472,8 @@ class Tensor:
             return self
         widths = [(0, 0)] * (self.ndim - 2) + [(pad, pad), (pad, pad)]
         out_data = np.pad(self.data, widths)
+        if _tape_off(self):
+            return Tensor(out_data)
         sl = (Ellipsis, slice(pad, -pad), slice(pad, -pad))
 
         def backward(grad: np.ndarray) -> None:
@@ -406,6 +532,8 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if _tape_off(*tensors):
+        return Tensor(out_data)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 

@@ -13,6 +13,8 @@ the weights under ``.cache/weights/``. Two profiles:
 
 from __future__ import annotations
 
+import logging
+import zipfile
 from pathlib import Path
 from typing import Sequence
 
@@ -24,6 +26,8 @@ from ..neural.serialization import load_weights, save_weights
 from .training import extract_patches, train_sr_model
 
 __all__ = ["model_geometry", "default_sr_model", "training_frames", "PROFILES"]
+
+logger = logging.getLogger(__name__)
 
 PROFILES = {
     # profile: (n_resblocks, n_feats, epochs, per_frame_patches)
@@ -75,7 +79,16 @@ def default_sr_model(
     model = EDSR(scale=scale, n_resblocks=blocks, n_feats=feats, seed=7)
     path = cache_dir() / "weights" / f"edsr_{profile}_x{scale}.npz"
     if path.exists() and not force_retrain:
-        return load_weights(model, path)
+        try:
+            return load_weights(model, path)
+        except (zipfile.BadZipFile, OSError, KeyError, ValueError) as exc:
+            # A truncated/garbled checkpoint (e.g. from an interrupted
+            # run) must not brick the whole suite: drop it and retrain.
+            logger.warning(
+                "corrupt weights cache %s (%s: %s); retraining",
+                path, type(exc).__name__, exc,
+            )
+            path.unlink(missing_ok=True)
 
     frames = training_frames()
     dataset = extract_patches(

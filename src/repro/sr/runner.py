@@ -5,6 +5,16 @@ Bridges the (H, W, C)-in-[0, 1] image world and the model's
 full-frame baselines can upscale arbitrarily large frames with bounded
 memory (and so the per-tile compute matches how mobile NPU delegates
 partition large inputs).
+
+Tiled inference is **batched**: the frame is reflect-padded onto the tile
+grid, every (tile x tile) window is gathered into one (N, C, th, tw)
+batch, and the model runs a single forward per frame (chunked by
+``batch_size`` to bound im2col memory). That converts dozens of small
+BLAS calls into a few large ones — together with the float32 no-graph
+inference path in :mod:`repro.neural.tensor` this is what makes the
+session matrix tractable (see "Performance notes" in README.md). The
+pre-batching per-tile loop survives as ``batched=False`` so the hotpath
+bench can keep measuring the speedup against it.
 """
 
 from __future__ import annotations
@@ -12,9 +22,20 @@ from __future__ import annotations
 import numpy as np
 
 from ..neural.layers import Module
-from ..neural.tensor import Tensor, no_grad
+from ..neural.tensor import Tensor, get_inference_dtype, no_grad
 
 __all__ = ["SRRunner"]
+
+
+def _pad_reflect2d(
+    image: np.ndarray, top: int, bottom: int, left: int, right: int
+) -> np.ndarray:
+    """Reflect-pad an (H, W, C) image, degrading to edge-replication when
+    the image is smaller than the requested halo (np.pad's reflect mode
+    requires pad < dim)."""
+    h, w = image.shape[:2]
+    mode = "reflect" if max(top, bottom) < h and max(left, right) < w else "edge"
+    return np.pad(image, ((top, bottom), (left, right), (0, 0)), mode=mode)
 
 
 class SRRunner:
@@ -46,11 +67,94 @@ class SRRunner:
         return np.clip(result, 0.0, 1.0)
 
     def upscale_tiled(
-        self, image: np.ndarray, tile: int = 64, overlap: int = 8
+        self,
+        image: np.ndarray,
+        tile: int = 64,
+        overlap: int = 8,
+        batched: bool = True,
+        batch_size: int = 64,
     ) -> np.ndarray:
-        """Upscale via overlapping tiles (seam-free full-frame inference)."""
+        """Upscale via overlapping tiles (seam-free full-frame inference).
+
+        ``batched=True`` (the default) runs all tiles through the model as
+        one batch; ``batched=False`` keeps the historical one-tile-per-
+        forward loop (slower, used as a benchmark baseline).
+        """
         if tile < 2 * overlap + 1:
             raise ValueError(f"tile ({tile}) too small for overlap ({overlap})")
+        if not batched:
+            return self._upscale_tiled_loop(image, tile, overlap)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+        image = np.asarray(image, dtype=np.float64)
+        squeeze = image.ndim == 2
+        if squeeze:
+            image = image[:, :, None]
+        h, w, c = image.shape
+        s = self.scale
+
+        # Clamp the tile per axis so a tile larger than the frame degrades
+        # to whole-frame inference instead of padding up to (tile x tile)
+        # and wasting forward compute on reflection filler.
+        tile_h = min(tile, h + 2 * overlap)
+        tile_w = min(tile, w + 2 * overlap)
+        step_h = tile_h - 2 * overlap
+        step_w = tile_w - 2 * overlap
+        ny = -(-h // step_h)  # ceil division
+        nx = -(-w // step_w)
+        # Halo on every side; bottom/right additionally fill the last
+        # partial tile so all windows are exactly (tile_h x tile_w).
+        padded = _pad_reflect2d(
+            image,
+            overlap,
+            ny * step_h - h + overlap,
+            overlap,
+            nx * step_w - w + overlap,
+        )
+        # Gather straight into the active inference dtype (float32 under
+        # the default policy) so the forward never re-casts per chunk.
+        padded = padded.astype(get_inference_dtype(), copy=False)
+
+        tiles = np.empty((ny * nx, c, tile_h, tile_w), dtype=padded.dtype)
+        for iy in range(ny):
+            for ix in range(nx):
+                window = padded[
+                    iy * step_h : iy * step_h + tile_h,
+                    ix * step_w : ix * step_w + tile_w,
+                ]
+                tiles[iy * nx + ix] = window.transpose(2, 0, 1)
+
+        with no_grad():
+            chunks = [
+                self.model(Tensor(tiles[start : start + batch_size])).numpy()
+                for start in range(0, len(tiles), batch_size)
+            ]
+        hr_tiles = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+        # Crop the halo off every HR tile and mosaic the cores.
+        core = hr_tiles[
+            :,
+            :,
+            overlap * s : (overlap + step_h) * s,
+            overlap * s : (overlap + step_w) * s,
+        ]
+        out = np.empty((ny * step_h * s, nx * step_w * s, c), dtype=core.dtype)
+        for iy in range(ny):
+            for ix in range(nx):
+                out[
+                    iy * step_h * s : (iy + 1) * step_h * s,
+                    ix * step_w * s : (ix + 1) * step_w * s,
+                ] = core[iy * nx + ix].transpose(1, 2, 0)
+        out = out[: h * s, : w * s]
+        if squeeze:
+            out = out[:, :, 0]
+        return np.clip(out, 0.0, 1.0)
+
+    def _upscale_tiled_loop(
+        self, image: np.ndarray, tile: int, overlap: int
+    ) -> np.ndarray:
+        """Pre-batching reference implementation: one forward per tile."""
         image = np.asarray(image, dtype=np.float64)
         squeeze = image.ndim == 2
         if squeeze:

@@ -11,6 +11,14 @@ from repro.sr.pretrained import default_sr_model
 from repro.sr.runner import SRRunner
 
 
+def pytest_collection_modifyitems(config, items):
+    # Every test that isn't explicitly `slow` belongs to the fast tier-1
+    # set that scripts/check.sh runs (`pytest -m tier1`).
+    for item in items:
+        if "slow" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

@@ -1,0 +1,97 @@
+"""Batched tiled inference: equivalence with whole-frame and loop paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.psnr import psnr
+from repro.neural.tensor import set_inference_dtype
+
+
+@pytest.fixture
+def frame(rng) -> np.ndarray:
+    # Smooth-ish content so PSNR comparisons are meaningful, plus noise so
+    # nothing is accidentally constant.
+    yy, xx = np.mgrid[0:40, 0:56]
+    base = 0.5 + 0.3 * np.sin(yy / 7.0) * np.cos(xx / 9.0)
+    return np.clip(base[:, :, None] + rng.normal(scale=0.05, size=(40, 56, 3)), 0, 1)
+
+
+def _interior(img: np.ndarray, margin: int) -> np.ndarray:
+    return img[margin:-margin, margin:-margin]
+
+
+class TestBatchedEquivalence:
+    def test_interior_matches_whole_frame(self, tiny_runner, frame):
+        # With overlap >= the model's receptive-field radius, every pixel
+        # away from the frame border sees an identical receptive field
+        # whether it came from a tile or the whole frame.
+        s = tiny_runner.scale
+        whole = tiny_runner.upscale(frame)
+        tiled = tiny_runner.upscale_tiled(frame, tile=32, overlap=8)
+        assert tiled.shape == whole.shape
+        margin = 10 * s
+        np.testing.assert_allclose(
+            _interior(tiled, margin), _interior(whole, margin), rtol=0, atol=1e-5
+        )
+        # Edge pixels differ (reflect halo vs conv zero-padding) but must
+        # stay visually identical — this is the seam-free guarantee.
+        assert psnr(whole, tiled.astype(np.float64)) >= 40.0
+
+    def test_batched_matches_loop_path(self, tiny_runner, frame):
+        s = tiny_runner.scale
+        batched = tiny_runner.upscale_tiled(frame, tile=32, overlap=8)
+        loop = tiny_runner.upscale_tiled(frame, tile=32, overlap=8, batched=False)
+        margin = 10 * s
+        np.testing.assert_allclose(
+            _interior(batched, margin), _interior(loop, margin), rtol=0, atol=1e-5
+        )
+        assert psnr(loop, batched.astype(np.float64)) >= 40.0
+
+    def test_oversized_tile_degrades_to_whole_frame(self, tiny_runner, frame):
+        # Per-axis clamping: a tile larger than the frame with no overlap is
+        # exactly one whole-frame forward — identical to upscale().
+        h, w = frame.shape[:2]
+        whole = tiny_runner.upscale(frame)
+        tiled = tiny_runner.upscale_tiled(frame, tile=4 * max(h, w), overlap=0)
+        np.testing.assert_array_equal(tiled, whole)
+
+    def test_batch_size_chunking_is_equivalent(self, tiny_runner, frame):
+        one = tiny_runner.upscale_tiled(frame, tile=24, overlap=4, batch_size=1)
+        many = tiny_runner.upscale_tiled(frame, tile=24, overlap=4, batch_size=64)
+        np.testing.assert_allclose(one, many, rtol=0, atol=1e-5)
+
+    def test_f32_tiled_agrees_with_f64(self, tiny_runner, frame):
+        out_f32 = tiny_runner.upscale_tiled(frame, tile=32, overlap=8)
+        prev = set_inference_dtype(np.float64)
+        try:
+            out_f64 = tiny_runner.upscale_tiled(frame, tile=32, overlap=8)
+        finally:
+            set_inference_dtype(prev)
+        assert out_f32.dtype == np.float32
+        assert out_f64.dtype == np.float64
+        assert psnr(out_f64, out_f32.astype(np.float64)) >= 60.0
+
+
+class TestBatchedInterface:
+    def test_grayscale_roundtrip(self, rng):
+        from repro.neural.models import EDSR
+        from repro.sr.runner import SRRunner
+
+        runner = SRRunner(EDSR(scale=2, n_resblocks=1, n_feats=4, channels=1, seed=0))
+        img = rng.uniform(size=(20, 28))
+        out = runner.upscale_tiled(img, tile=16, overlap=4)
+        assert out.shape == (40, 56)
+
+    def test_output_clipped_to_unit_range(self, tiny_runner, frame):
+        out = tiny_runner.upscale_tiled(frame, tile=32, overlap=8)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_tile_too_small_for_overlap_rejected(self, tiny_runner, frame):
+        with pytest.raises(ValueError, match="too small"):
+            tiny_runner.upscale_tiled(frame, tile=16, overlap=8)
+
+    def test_bad_batch_size_rejected(self, tiny_runner, frame):
+        with pytest.raises(ValueError, match="batch_size"):
+            tiny_runner.upscale_tiled(frame, tile=32, overlap=8, batch_size=0)

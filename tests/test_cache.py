@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-from repro.cache import cache_dir, config_key, load_or_build
+from repro.cache import (
+    artifact_path,
+    cache_dir,
+    cache_disabled,
+    config_key,
+    load_or_build,
+    memoize,
+)
 
 
 def test_config_key_stable_and_order_insensitive():
@@ -34,3 +41,54 @@ def test_cache_dir_override(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
     assert cache_dir() == tmp_path / "custom"
     assert cache_dir().is_dir()
+
+
+def test_corrupt_artifact_rebuilds(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    path = artifact_path("t", {"x": 1})
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"\x04not a pickle")
+    assert load_or_build("t", {"x": 1}, lambda: "rebuilt") == "rebuilt"
+    # The corrupt file was replaced and now round-trips.
+    assert load_or_build("t", {"x": 1}, lambda: "never called") == "rebuilt"
+
+
+def test_cache_disable_env_bypasses_read_and_write(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+    assert cache_disabled()
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return "fresh"
+
+    assert load_or_build("t", {"x": 1}, builder) == "fresh"
+    assert load_or_build("t", {"x": 1}, builder) == "fresh"
+    assert len(calls) == 2  # no read-back
+    assert not artifact_path("t", {"x": 1}).exists()  # no write-through
+
+
+def test_no_temp_files_left_behind(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    load_or_build("t", {"x": 1}, lambda: list(range(100)))
+    leftovers = [p for p in (tmp_path / "artifacts").iterdir() if p.suffix != ".pkl"]
+    assert leftovers == []
+
+
+def test_memoize_caches_by_kwargs_and_keeps_metadata(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    calls = []
+
+    @memoize("square")
+    def square(n):
+        """Square a number."""
+        calls.append(n)
+        return n * n
+
+    assert square.__name__ == "square"  # functools.wraps applied
+    assert square.__doc__ == "Square a number."
+    assert square(n=3) == 9
+    assert square(n=3) == 9
+    assert square(n=4) == 16
+    assert calls == [3, 4]
