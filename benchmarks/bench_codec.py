@@ -1,0 +1,292 @@
+"""Codec trajectory benchmark: motion search, compensation, entropy coding.
+
+Measures the fast codec path (successive-elimination pruned full search,
+vectorized compensation, batch bit-packed Exp-Golomb coding, buffered
+bitstream reads) against the frozen pre-PR reference implementation in
+``_legacy_codec.py`` and writes the numbers to ``BENCH_codec.json`` at the
+repo root so the speedup trajectory survives across PRs.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_codec.py          # full run
+    PYTHONPATH=src python benchmarks/bench_codec.py --smoke  # seconds, CI
+
+The full run uses the default 256x448 G3 rendered sequence and asserts the
+PR's acceptance criteria: >= 4x ``encode_frame``, >= 3x motion estimation,
+full-search motion vectors exactly equal to legacy, bitstreams
+byte-identical to legacy, and a diamond-mode PSNR delta <= 0.3 dB vs full
+search.  Smoke mode swaps in a small frame to exercise every path and
+exactness assertion quickly (no speedup floors — tiny shapes don't
+amortize anything) and writes ``BENCH_codec.smoke.json`` instead.
+
+Both paths run in the same process: the codec allocates little, so no
+allocator isolation is needed (unlike ``bench_hotpath.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.codec.bitstream import BitReader, BitWriter  # noqa: E402
+from repro.codec.blocks import split_blocks  # noqa: E402
+from repro.codec.color import rgb_to_ycbcr  # noqa: E402
+from repro.codec.decoder import VideoDecoder  # noqa: E402
+from repro.codec.encoder import VideoEncoder  # noqa: E402
+from repro.codec.entropy import decode_blocks, encode_blocks  # noqa: E402
+from repro.codec.motion import compensate, estimate_motion  # noqa: E402
+from repro.codec.transform import forward_dct, quantize  # noqa: E402
+from repro.metrics.psnr import psnr  # noqa: E402
+
+from _legacy_codec import (  # noqa: E402
+    LegacyBitReader,
+    LegacyBitWriter,
+    LegacyVideoDecoder,
+    LegacyVideoEncoder,
+    legacy_compensate,
+    legacy_decode_blocks,
+    legacy_encode_blocks,
+    legacy_estimate_motion,
+)
+
+QUALITY = 60
+GOP = 60  # paper default: the sequence below is 1 I-frame + P-frames
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time in seconds (fn is called once to warm up)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _frames(smoke: bool) -> list[np.ndarray]:
+    from repro.analysis.prerender import rendered_sequence
+
+    if smoke:
+        seq = rendered_sequence("G3", width=96, height=64, n_frames=2)
+        return [seq.frame(i).color for i in range(2)]
+    seq = rendered_sequence("G3", width=448, height=256, n_frames=4)
+    return [seq.frame(i).color for i in range(4)]
+
+
+def _luma(frame: np.ndarray) -> np.ndarray:
+    y, _, _ = rgb_to_ycbcr(np.asarray(frame, dtype=np.float64))
+    return y * 255.0 - 128.0
+
+
+def _bench_motion(frames, repeats: int) -> dict:
+    cur, ref = _luma(frames[1]), _luma(frames[0])
+    legacy_s = _time(lambda: legacy_estimate_motion(cur, ref), repeats)
+    fast_s = _time(lambda: estimate_motion(cur, ref), repeats)
+    diamond_s = _time(lambda: estimate_motion(cur, ref, method="diamond"), repeats)
+
+    mv_legacy = legacy_estimate_motion(cur, ref)
+    mv_fast = estimate_motion(cur, ref)
+    if not np.array_equal(mv_legacy, mv_fast):
+        raise AssertionError("pruned full search diverged from legacy full search")
+
+    pred_legacy = legacy_compensate(ref, mv_fast)
+    comp_legacy_s = _time(lambda: legacy_compensate(ref, mv_fast), repeats)
+    comp_fast_s = _time(lambda: compensate(ref, mv_fast), repeats)
+    if not np.array_equal(pred_legacy, compensate(ref, mv_fast)):
+        raise AssertionError("vectorized compensate diverged from legacy loop")
+
+    return {
+        "frame_hw": list(cur.shape),
+        "legacy_full_s": round(legacy_s, 4),
+        "fast_full_s": round(fast_s, 4),
+        "diamond_s": round(diamond_s, 4),
+        "speedup_full_vs_legacy": round(legacy_s / fast_s, 2),
+        "speedup_diamond_vs_legacy": round(legacy_s / diamond_s, 2),
+        "mv_equal_full_vs_legacy": True,
+        "compensate_legacy_s": round(comp_legacy_s, 5),
+        "compensate_fast_s": round(comp_fast_s, 5),
+        "compensate_speedup": round(comp_legacy_s / comp_fast_s, 2),
+    }
+
+
+def _bench_entropy(frames, repeats: int) -> dict:
+    blocks = quantize(forward_dct(split_blocks(_luma(frames[0]), 8)), QUALITY)
+
+    def enc_legacy():
+        w = LegacyBitWriter()
+        legacy_encode_blocks(blocks, w)
+        return w.getvalue()
+
+    def enc_fast():
+        w = BitWriter()
+        encode_blocks(blocks, w)
+        return w.getvalue()
+
+    payload_legacy = enc_legacy()
+    payload_fast = enc_fast()
+    if payload_legacy != payload_fast:
+        raise AssertionError("vectorized entropy coder is not byte-identical")
+
+    enc_legacy_s = _time(enc_legacy, repeats)
+    enc_fast_s = _time(enc_fast, repeats)
+    dec_legacy_s = _time(
+        lambda: legacy_decode_blocks(LegacyBitReader(payload_legacy), len(blocks), 8),
+        repeats,
+    )
+    dec_fast_s = _time(
+        lambda: decode_blocks(BitReader(payload_fast), len(blocks), 8), repeats
+    )
+    return {
+        "n_blocks": int(len(blocks)),
+        "payload_bytes": len(payload_fast),
+        "byte_identical": True,
+        "encode_legacy_s": round(enc_legacy_s, 5),
+        "encode_fast_s": round(enc_fast_s, 5),
+        "encode_speedup": round(enc_legacy_s / enc_fast_s, 2),
+        "decode_legacy_s": round(dec_legacy_s, 5),
+        "decode_fast_s": round(dec_fast_s, 5),
+        "decode_speedup": round(dec_legacy_s / dec_fast_s, 2),
+    }
+
+
+def _encode_all(encoder, frames):
+    encoder.reset()
+    return [encoder.encode_frame(f) for f in frames]
+
+
+def _bench_frame_codec(frames, repeats: int) -> dict:
+    legacy_enc = LegacyVideoEncoder(gop_size=GOP, quality=QUALITY)
+    fast_enc = VideoEncoder(gop_size=GOP, quality=QUALITY)
+
+    encoded_legacy = _encode_all(legacy_enc, frames)
+    encoded_fast = _encode_all(fast_enc, frames)
+    for i, (a, b) in enumerate(zip(encoded_legacy, encoded_fast)):
+        if a.payload != b.payload:
+            raise AssertionError(f"frame {i}: fast bitstream differs from legacy")
+
+    enc_legacy_s = _time(lambda: _encode_all(legacy_enc, frames), repeats)
+    enc_fast_s = _time(lambda: _encode_all(fast_enc, frames), repeats)
+
+    def dec_legacy():
+        d = LegacyVideoDecoder()
+        d.reset()
+        return [d.decode_frame(e) for e in encoded_legacy]
+
+    def dec_fast():
+        d = VideoDecoder()
+        return d.decode_sequence(encoded_fast)
+
+    rgb_legacy = dec_legacy()[-1].rgb
+    rgb_fast = dec_fast()[-1].rgb
+    if not np.allclose(rgb_legacy, rgb_fast, atol=1e-9):
+        raise AssertionError("fast decoder reconstruction diverged from legacy")
+    dec_legacy_s = _time(dec_legacy, repeats)
+    dec_fast_s = _time(dec_fast, repeats)
+
+    n = len(frames)
+    return {
+        "n_frames": n,
+        "gop_size": GOP,
+        "quality": QUALITY,
+        "payload_bytes": [e.size_bytes for e in encoded_fast],
+        "bitstream_byte_identical": True,
+        "encode_legacy_s_per_frame": round(enc_legacy_s / n, 4),
+        "encode_fast_s_per_frame": round(enc_fast_s / n, 4),
+        "encode_speedup": round(enc_legacy_s / enc_fast_s, 2),
+        "decode_legacy_s_per_frame": round(dec_legacy_s / n, 4),
+        "decode_fast_s_per_frame": round(dec_fast_s / n, 4),
+        "decode_speedup": round(dec_legacy_s / dec_fast_s, 2),
+    }
+
+
+def _bench_diamond_quality(frames) -> dict:
+    """PSNR cost of diamond vs full search through real reconstruction."""
+    results = {}
+    for method in ("full", "diamond"):
+        enc = VideoEncoder(gop_size=GOP, quality=QUALITY, motion_method=method)
+        encoded = _encode_all(enc, frames)
+        decoded = VideoDecoder().decode_sequence(encoded)
+        results[method] = float(
+            np.mean([psnr(f, d.rgb) for f, d in zip(frames, decoded)])
+        )
+    delta = results["full"] - results["diamond"]
+    return {
+        "sequence": "G3",
+        "full_psnr_db": round(results["full"], 3),
+        "diamond_psnr_db": round(results["diamond"], 3),
+        "delta_db": round(delta, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small frames; exactness asserts only, no speedup floors",
+    )
+    args = parser.parse_args(argv)
+
+    frames = _frames(args.smoke)
+    repeats = 1 if args.smoke else 3
+
+    motion = _bench_motion(frames, repeats)
+    entropy = _bench_entropy(frames, repeats)
+    frame_codec = _bench_frame_codec(frames, repeats)
+    diamond = _bench_diamond_quality(frames)
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "machine": {
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+        },
+        "motion": motion,
+        "entropy": entropy,
+        "frame_codec": frame_codec,
+        "diamond_quality": diamond,
+    }
+
+    failures = []
+    if not args.smoke:
+        # PR acceptance criteria — keep asserting them so regressions in
+        # the fast path show up as a failing bench, not a smaller number.
+        if frame_codec["encode_speedup"] < 4.0:
+            failures.append(
+                f"encode_frame speedup {frame_codec['encode_speedup']}x < 4x"
+            )
+        if motion["speedup_full_vs_legacy"] < 3.0:
+            failures.append(
+                f"motion estimation speedup {motion['speedup_full_vs_legacy']}x < 3x"
+            )
+        if diamond["delta_db"] > 0.3:
+            failures.append(
+                f"diamond PSNR delta {diamond['delta_db']} dB > 0.3 dB"
+            )
+    report["criteria_failures"] = failures
+
+    name = "BENCH_codec.smoke.json" if args.smoke else "BENCH_codec.json"
+    out_path = REPO_ROOT / name
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out_path}", file=sys.stderr)
+    if failures:
+        print("CRITERIA FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

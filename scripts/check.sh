@@ -3,8 +3,9 @@
 #
 #   scripts/check.sh            # what CI / pre-merge should run
 #
-# The full benchmark (with speedup acceptance criteria) is a separate,
-# longer run:  PYTHONPATH=src python benchmarks/bench_hotpath.py
+# The full benchmarks (with speedup acceptance criteria) are separate,
+# longer runs:  PYTHONPATH=src python benchmarks/bench_hotpath.py
+#               PYTHONPATH=src python benchmarks/bench_codec.py
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,3 +17,7 @@ python -m pytest -q -m tier1
 echo "== hot-path bench (smoke) =="
 python benchmarks/bench_hotpath.py --smoke >/dev/null
 echo "ok: wrote BENCH_hotpath.smoke.json"
+
+echo "== codec bench (smoke) =="
+python benchmarks/bench_codec.py --smoke >/dev/null
+echo "ok: wrote BENCH_codec.smoke.json"

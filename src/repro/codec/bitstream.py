@@ -1,6 +1,17 @@
-"""Bit-level I/O for the codec's entropy-coded payloads."""
+"""Bit-level I/O for the codec's entropy-coded payloads.
+
+:class:`BitWriter` keeps its original bit-at-a-time API but adds
+:meth:`BitWriter.write_codes`, a bulk append that assembles a whole batch
+of MSB-first codewords in one numpy pass (bit scatter + ``np.packbits``),
+producing byte-identical output to the equivalent ``write_bits`` loop.
+:class:`BitReader` buffers the byte string into a rolling integer window
+(refilled eight bytes at a time) so ``read_bits``/``read_unary`` cost one
+Python-level operation per *call* instead of one per *bit*.
+"""
 
 from __future__ import annotations
+
+import numpy as np
 
 __all__ = ["BitWriter", "BitReader"]
 
@@ -34,6 +45,42 @@ class BitWriter:
             self.write_bit(0)
         self.write_bit(1)
 
+    def write_codes(self, values: np.ndarray, widths: np.ndarray) -> None:
+        """Bulk-append codewords: the ``widths[i]`` low bits of ``values[i]``.
+
+        Equivalent to ``write_bits(values[i], widths[i])`` for each i, but
+        the whole batch is scattered into one bit array and packed with a
+        single ``np.packbits`` pass.  Works at any bit offset: pending
+        accumulator bits are prepended and the new tail (< 8 bits) is
+        carried back into the accumulator.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        widths = np.asarray(widths, dtype=np.int64)
+        if values.shape != widths.shape or values.ndim != 1:
+            raise ValueError(
+                f"values/widths must be matching 1-D arrays, got "
+                f"{values.shape} vs {widths.shape}"
+            )
+        if widths.size and int(widths.min()) < 0:
+            raise ValueError("widths must be >= 0")
+        pending = self._n_bits
+        total = pending + int(widths.sum())
+        bits = np.zeros(total, dtype=np.uint8)
+        for i in range(pending):  # < 8 bits
+            bits[pending - 1 - i] = (self._accumulator >> i) & 1
+        ends = pending + np.cumsum(widths)
+        max_width = int(widths.max()) if widths.size else 0
+        for k in range(max_width):
+            sel = widths > k
+            bits[ends[sel] - 1 - k] = (values[sel] >> k) & 1
+        n_full = total // 8
+        if n_full:
+            self._bytes += np.packbits(bits[: n_full * 8]).tobytes()
+        self._accumulator = 0
+        self._n_bits = 0
+        for bit in bits[n_full * 8 :]:  # < 8 bits
+            self.write_bit(int(bit))
+
     def getvalue(self) -> bytes:
         """Flushed byte string (zero-padded to a byte boundary)."""
         out = bytearray(self._bytes)
@@ -47,31 +94,69 @@ class BitWriter:
 
 
 class BitReader:
-    """MSB-first reader over a byte string."""
+    """MSB-first reader over a byte string, buffered for fast decode.
+
+    Upcoming bits live in an integer window (``_buf`` holding the low
+    ``_buf_bits`` bits), refilled up to eight bytes at a time, so unary
+    runs are counted with one ``bit_length`` call instead of a per-bit
+    loop.  The public API and EOF behaviour match the original unbuffered
+    reader.
+    """
 
     def __init__(self, data: bytes) -> None:
         self._data = data
-        self._pos = 0  # bit position
+        self._total_bits = len(data) * 8
+        self._pos = 0  # bits consumed so far
+        self._buf = 0
+        self._buf_bits = 0
+        self._byte_pos = 0  # next byte to load into the buffer
+
+    def _fill(self) -> bool:
+        chunk = self._data[self._byte_pos : self._byte_pos + 8]
+        if not chunk:
+            return False
+        self._buf = (self._buf << (8 * len(chunk))) | int.from_bytes(chunk, "big")
+        self._buf_bits += 8 * len(chunk)
+        self._byte_pos += len(chunk)
+        return True
 
     def read_bit(self) -> int:
-        byte_idx, bit_idx = divmod(self._pos, 8)
-        if byte_idx >= len(self._data):
+        if self._buf_bits == 0 and not self._fill():
             raise EOFError("bitstream exhausted")
+        self._buf_bits -= 1
         self._pos += 1
-        return (self._data[byte_idx] >> (7 - bit_idx)) & 1
+        bit = (self._buf >> self._buf_bits) & 1
+        self._buf &= (1 << self._buf_bits) - 1
+        return bit
 
     def read_bits(self, count: int) -> int:
-        value = 0
-        for _ in range(count):
-            value = (value << 1) | self.read_bit()
+        while self._buf_bits < count:
+            if not self._fill():
+                raise EOFError("bitstream exhausted")
+        self._buf_bits -= count
+        self._pos += count
+        value = self._buf >> self._buf_bits
+        self._buf &= (1 << self._buf_bits) - 1
         return value
 
     def read_unary(self) -> int:
         count = 0
-        while self.read_bit() == 0:
-            count += 1
-        return count
+        while True:
+            if self._buf_bits == 0 and not self._fill():
+                raise EOFError("bitstream exhausted")
+            if self._buf == 0:
+                count += self._buf_bits
+                self._pos += self._buf_bits
+                self._buf_bits = 0
+                continue
+            top = self._buf.bit_length()
+            zeros = self._buf_bits - top
+            count += zeros
+            self._buf_bits = top - 1  # consume the zeros and the 1
+            self._buf &= (1 << self._buf_bits) - 1
+            self._pos += zeros + 1
+            return count
 
     @property
     def bits_remaining(self) -> int:
-        return len(self._data) * 8 - self._pos
+        return self._total_bits - self._pos

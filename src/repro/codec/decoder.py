@@ -20,7 +20,7 @@ from .bitstream import BitReader
 from .blocks import block_grid_shape, merge_blocks
 from .color import upsample_chroma, ycbcr_to_rgb
 from .encoder import PIXEL_SCALE, EncodedFrame
-from .entropy import _read_exp_golomb, _unsigned_to_signed, decode_blocks
+from .entropy import decode_blocks, read_exp_golomb_array, unsigned_to_signed_array
 from .motion import compensate
 from .transform import dequantize, inverse_dct
 
@@ -56,10 +56,8 @@ def _decode_plane(
 
 
 def _decode_motion(reader: BitReader, nby: int, nbx: int) -> np.ndarray:
-    flat = np.empty(nby * nbx * 2, dtype=np.int64)
-    for i in range(flat.size):
-        flat[i] = _unsigned_to_signed(_read_exp_golomb(reader))
-    return flat.reshape(nby, nbx, 2)
+    codes = read_exp_golomb_array(reader, nby * nbx * 2)
+    return unsigned_to_signed_array(codes).reshape(nby, nbx, 2)
 
 
 def _planes_to_rgb(y: np.ndarray, cb: np.ndarray, cr: np.ndarray) -> np.ndarray:

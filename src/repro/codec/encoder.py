@@ -72,10 +72,9 @@ def _encode_plane(
 
 def _encode_motion(mv: np.ndarray, writer: BitWriter) -> None:
     """Signed Exp-Golomb coding of the (nby, nbx, 2) motion field."""
-    from .entropy import _signed_to_unsigned, _write_exp_golomb
+    from .entropy import signed_to_unsigned_array, write_exp_golomb_array
 
-    for value in mv.reshape(-1):
-        _write_exp_golomb(writer, _signed_to_unsigned(int(value)))
+    write_exp_golomb_array(writer, signed_to_unsigned_array(mv.reshape(-1)))
 
 
 class VideoEncoder:
@@ -90,6 +89,11 @@ class VideoEncoder:
         Quantizer quality in [1, 100].
     search_radius:
         Motion search window half-width in pixels.
+    motion_method:
+        ``"full"`` (exhaustive, exact — the default, used by every
+        experiment driver for reproducibility) or ``"diamond"`` (the fast
+        approximate diamond search; see DESIGN.md for the measured quality
+        delta).
     """
 
     def __init__(
@@ -98,15 +102,19 @@ class VideoEncoder:
         quality: int = 60,
         block: int = DEFAULT_BLOCK,
         search_radius: int = 7,
+        motion_method: str = "full",
     ) -> None:
         if gop_size < 1:
             raise ValueError(f"gop_size must be >= 1, got {gop_size}")
         if block < 2:
             raise ValueError(f"block must be >= 2, got {block}")
+        if motion_method not in ("full", "diamond"):
+            raise ValueError(f"unknown motion search method {motion_method!r}")
         self.gop_size = gop_size
         self.quality = quality
         self.block = block
         self.search_radius = search_radius
+        self.motion_method = motion_method
         self._frame_index = 0
         self._recon_y: Optional[np.ndarray] = None
         self._recon_cb: Optional[np.ndarray] = None
@@ -145,7 +153,11 @@ class VideoEncoder:
         else:
             frame_type = "P"
             mv = estimate_motion(
-                y_p, self._recon_y, block=self.block, search_radius=self.search_radius
+                y_p,
+                self._recon_y,
+                block=self.block,
+                search_radius=self.search_radius,
+                method=self.motion_method,
             )
             _encode_motion(mv, writer)
             pred_y = compensate(self._recon_y, mv, self.block)

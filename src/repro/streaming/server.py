@@ -37,13 +37,19 @@ class GameStreamServer:
         quality: int = 60,
         fps: float = 60.0,
         roi_config: RoIConfig = DEFAULT_ROI_CONFIG,
+        motion_method: str = "full",
     ) -> None:
         """``roi_side`` is the client's negotiated window on the *eval*
-        geometry; pass None to disable RoI detection (SOTA mode)."""
+        geometry; pass None to disable RoI detection (SOTA mode).
+        ``motion_method`` selects the encoder's block-matching search
+        (``"full"`` exact search by default; ``"diamond"`` for the fast
+        approximate mode)."""
         self.game = game
         self.geometry = geometry
         self.fps = fps
-        self.encoder = VideoEncoder(gop_size=gop_size, quality=quality)
+        self.encoder = VideoEncoder(
+            gop_size=gop_size, quality=quality, motion_method=motion_method
+        )
         self.detector = (
             RoIDetector(roi_side, roi_config) if roi_side is not None else None
         )

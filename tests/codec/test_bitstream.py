@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -37,6 +38,50 @@ class TestBitWriter:
             BitWriter().write_bits(1, -1)
 
 
+class TestWriteCodes:
+    """Bulk write_codes must match the write_bits loop bit for bit."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**20), st.integers(1, 21)),
+            min_size=0,
+            max_size=30,
+        ),
+        st.integers(0, 7),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_sequential_writes(self, pairs, lead_bits):
+        bulk, loop = BitWriter(), BitWriter()
+        for w in (bulk, loop):
+            for i in range(lead_bits):  # start mid-byte
+                w.write_bit(i & 1)
+        values = np.array([v & ((1 << c) - 1) for v, c in pairs], dtype=np.int64)
+        widths = np.array([c for _, c in pairs], dtype=np.int64)
+        bulk.write_codes(values, widths)
+        for v, c in zip(values, widths):
+            loop.write_bits(int(v), int(c))
+        assert bulk.getvalue() == loop.getvalue()
+        assert len(bulk) == len(loop)
+
+    def test_empty_batch(self):
+        w = BitWriter()
+        w.write_codes(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert w.getvalue() == b""
+
+    def test_zero_width_codes_write_nothing(self):
+        w = BitWriter()
+        w.write_codes(np.array([0, 5, 0]), np.array([0, 3, 0]))
+        assert len(w) == 3
+
+    def test_shape_and_negative_width_validation(self):
+        with pytest.raises(ValueError, match="1-D"):
+            BitWriter().write_codes(np.zeros((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="matching"):
+            BitWriter().write_codes(np.zeros(3), np.zeros(2))
+        with pytest.raises(ValueError, match=">= 0"):
+            BitWriter().write_codes(np.array([1]), np.array([-1]))
+
+
 class TestBitReader:
     def test_read_bits(self):
         r = BitReader(bytes([0xAB, 0xCD]))
@@ -52,6 +97,32 @@ class TestBitReader:
         r = BitReader(b"")
         with pytest.raises(EOFError):
             r.read_bit()
+
+    def test_eof_mid_read_bits(self):
+        r = BitReader(bytes([0xFF]))
+        with pytest.raises(EOFError):
+            r.read_bits(9)
+
+    def test_eof_mid_unary(self):
+        # All zeros, no terminating one: the buffered reader must still
+        # fault like the bit-at-a-time reader did.
+        r = BitReader(bytes([0x00, 0x00]))
+        with pytest.raises(EOFError):
+            r.read_unary()
+
+    def test_unary_spanning_buffer_refills(self):
+        # 70 zero bits then a one: the run crosses the 8-byte fill window.
+        data = bytes([0x00] * 8 + [0b00000010, 0x00])
+        r = BitReader(data)
+        assert r.read_unary() == 70
+        assert r.bits_remaining == 80 - 71
+
+    def test_interleaved_reads_track_position(self):
+        r = BitReader(bytes([0b10100001, 0b11000000]))
+        assert r.read_bit() == 1
+        assert r.read_unary() == 1
+        assert r.read_bits(4) == 0b0000
+        assert r.bits_remaining == 16 - 7
 
 
 class TestRoundTrip:

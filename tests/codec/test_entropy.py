@@ -13,6 +13,10 @@ from repro.codec.entropy import (
     decode_blocks,
     encode_blocks,
     inverse_zigzag,
+    read_exp_golomb_array,
+    signed_to_unsigned_array,
+    unsigned_to_signed_array,
+    write_exp_golomb_array,
     zigzag,
     zigzag_indices,
 )
@@ -94,3 +98,58 @@ class TestBlockCoding:
     @settings(max_examples=30, deadline=None)
     def test_roundtrip_property_4x4(self, blocks):
         np.testing.assert_array_equal(self.roundtrip(blocks), blocks)
+
+
+class TestExpGolombArrays:
+    @given(st.lists(st.integers(0, 2**30), min_size=0, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_unsigned_roundtrip(self, values):
+        w = BitWriter()
+        write_exp_golomb_array(w, np.asarray(values, dtype=np.int64))
+        out = read_exp_golomb_array(BitReader(w.getvalue()), len(values))
+        np.testing.assert_array_equal(out, values)
+
+    @given(st.lists(st.integers(-(2**30), 2**30), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_signed_mapping_roundtrip(self, values):
+        values = np.asarray(values, dtype=np.int64)
+        np.testing.assert_array_equal(
+            unsigned_to_signed_array(signed_to_unsigned_array(values)), values
+        )
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            write_exp_golomb_array(BitWriter(), np.array([3, -1]))
+
+
+class TestCorruptStreams:
+    """decode_blocks error paths on damaged payloads."""
+
+    def _payload(self, blocks: np.ndarray) -> bytes:
+        w = BitWriter()
+        encode_blocks(blocks, w)
+        return w.getvalue()
+
+    def test_coefficient_index_overflow(self):
+        # A run pointing past the block end without an EOB marker:
+        # run=63 then level, then run=5 (overflows a 64-coefficient block).
+        w = BitWriter()
+        write_exp_golomb_array(w, np.array([63, 1, 5, 1], dtype=np.int64))
+        with pytest.raises(ValueError, match="corrupt bitstream"):
+            decode_blocks(BitReader(w.getvalue()), 1, 8)
+
+    def test_truncated_payload_raises_eof(self, rng):
+        blocks = rng.integers(-20, 20, size=(4, 8, 8))
+        payload = self._payload(blocks)
+        with pytest.raises(EOFError):
+            decode_blocks(BitReader(payload[: len(payload) // 2]), 4, 8)
+
+    def test_empty_payload_with_blocks_expected(self):
+        with pytest.raises(EOFError):
+            decode_blocks(BitReader(b""), 1, 8)
+
+    def test_too_many_blocks_requested(self, rng):
+        blocks = rng.integers(-20, 20, size=(2, 8, 8))
+        payload = self._payload(blocks)
+        with pytest.raises(EOFError):
+            decode_blocks(BitReader(payload), 8, 8)
