@@ -11,8 +11,18 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="${PWD}/src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== compile check =="
+python -m compileall -q src scripts benchmarks
+echo "ok: all sources byte-compile"
+
+echo "== import-cycle check =="
+python scripts/check_import_cycles.py
+
 echo "== tier-1 tests =="
 python -m pytest -q -m tier1
+
+echo "== session-pipeline smoke =="
+python scripts/pipeline_smoke.py
 
 echo "== hot-path bench (smoke) =="
 python benchmarks/bench_hotpath.py --smoke >/dev/null

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Fail if the repro package has module-level import cycles.
+
+Builds the module-level import graph of ``src/repro`` with ``ast`` (no
+imports are executed) and runs a DFS cycle search. Function-local lazy
+imports are intentionally ignored — they are the sanctioned way to break
+a cycle (e.g. ``analysis.parallel`` workers importing ``experiments``).
+
+Usage: python scripts/check_import_cycles.py [src/repro]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Set
+
+
+def module_name(path: Path, src_root: Path) -> str:
+    rel = path.relative_to(src_root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def resolve_relative(module: str, node: ast.ImportFrom, is_package: bool) -> str | None:
+    """Absolute target of a ``from ... import`` as seen from ``module``."""
+    if node.level == 0:
+        return node.module
+    # Level 1 from a package __init__ means the package itself; from a
+    # plain module it means the parent package — mirror the import system.
+    parts = module.split(".")
+    drop = node.level - (1 if is_package else 0)
+    if drop > len(parts):
+        return None
+    base = parts[: len(parts) - drop]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base)
+
+
+def module_level_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level import statements, including those inside try/if blocks
+    (still executed at import time) but not inside function/class bodies."""
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+        elif isinstance(node, (ast.If, ast.Try, ast.With)):
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                for child in getattr(node, field, []):
+                    if isinstance(child, ast.ExceptHandler):
+                        stack.extend(child.body)
+                    elif isinstance(child, ast.stmt):
+                        stack.append(child)
+
+
+def build_graph(src_root: Path, package: str) -> Dict[str, Set[str]]:
+    # Module names are rooted at the package (``repro.streaming.pipeline``)
+    # so absolute-import targets resolve against the graph keys directly.
+    files = {
+        module_name(p, src_root.parent): p for p in sorted(src_root.rglob("*.py"))
+    }
+    graph: Dict[str, Set[str]] = {name: set() for name in files}
+    for name, path in files.items():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        is_package = path.name == "__init__.py"
+        targets: Set[str] = set()
+        for node in module_level_imports(tree):
+            if isinstance(node, ast.Import):
+                targets.update(alias.name for alias in node.names)
+            else:
+                base = resolve_relative(name, node, is_package)
+                if base is None:
+                    continue
+                targets.add(base)
+                # ``from pkg import sub`` imports pkg.sub when it exists.
+                targets.update(
+                    f"{base}.{alias.name}" for alias in node.names
+                )
+        for target in targets:
+            # Longest known prefix: importing pkg.mod.attr depends on pkg.mod.
+            while target and target not in graph:
+                target = target.rpartition(".")[0]
+            if not target or target == name or not target.startswith(package):
+                continue
+            # A submodule importing its own ancestor package (``from . import
+            # sibling``) is not a cycle: the ancestor is already present,
+            # partially initialized, in sys.modules when the submodule runs.
+            if name.startswith(target + "."):
+                continue
+            graph[name].add(target)
+    return graph
+
+
+def find_cycle(graph: Dict[str, Set[str]]) -> List[str] | None:
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    path: List[str] = []
+
+    def dfs(node: str) -> List[str] | None:
+        color[node] = GREY
+        path.append(node)
+        for dep in sorted(graph[node]):
+            if color[dep] == GREY:
+                return path[path.index(dep):] + [dep]
+            if color[dep] == WHITE:
+                cycle = dfs(dep)
+                if cycle:
+                    return cycle
+        color[node] = BLACK
+        path.pop()
+        return None
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            cycle = dfs(node)
+            if cycle:
+                return cycle
+    return None
+
+
+def main(argv: List[str]) -> int:
+    src_root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    if not src_root.is_dir():
+        print(f"error: {src_root} is not a directory", file=sys.stderr)
+        return 2
+    graph = build_graph(src_root.resolve(), src_root.resolve().name)
+    cycle = find_cycle(graph)
+    if cycle:
+        print("import cycle detected:", " -> ".join(cycle), file=sys.stderr)
+        return 1
+    n_edges = sum(len(v) for v in graph.values())
+    print(f"ok: {len(graph)} modules, {n_edges} edges, no module-level cycles")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

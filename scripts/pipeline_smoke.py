@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Session-pipeline smoke: a 5-frame G3 session per design, trace-validated.
+
+Streams a short session through every client design, validates the
+per-frame trace export against the pinned JSON schema
+(:mod:`repro.observability.schema`), and sanity-checks the invariants the
+staged pipeline guarantees (MTP sum == span sum, energy categories
+present, one MTP network span). Exits non-zero on any violation — this is
+the check.sh gate that the stage/trace architecture stays wired end to
+end without running the heavy analysis matrices.
+
+Usage: PYTHONPATH=src python scripts/pipeline_smoke.py [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+N_FRAMES = 5
+GOP = 4  # both reference and dependent frames inside 5 streamed frames
+
+
+def build_clients(device, runner, plan):
+    from repro.streaming import (
+        BilinearClient,
+        FullFrameSRClient,
+        GameStreamSRClient,
+        NemoClient,
+        SRIntegratedDecoderClient,
+    )
+
+    roi_eval = plan.side_for_frame(64)
+    return [
+        (GameStreamSRClient(device, runner, modeled_roi_side=plan.side), roi_eval),
+        (NemoClient(device, runner), None),
+        (BilinearClient(device), None),
+        (FullFrameSRClient(device, runner), None),
+        (SRIntegratedDecoderClient(device, runner), roi_eval),
+    ]
+
+
+def check_session(result, out_dir: Path) -> None:
+    from repro.observability import validate_session_trace
+    from repro.streaming import ENERGY_CATEGORIES
+
+    export = result.to_trace_dict()
+    validate_session_trace(export)
+    path = result.export_trace_json(out_dir / f"{result.design}_trace.json")
+    json.loads(path.read_text())  # the file itself parses back
+
+    assert len(result.records) == N_FRAMES, "record count mismatch"
+    assert result.metrics.counter("frames_total").value == N_FRAMES
+    for record in result.records:
+        trace = record.trace
+        assert trace is not None, "staged session must attach traces"
+        # MTP derived from the trace must equal the span sum exactly.
+        assert record.mtp.total_ms == trace.total_modeled_ms
+        # The downlink is counted once: one MTP network span (server's),
+        # one energy-only RX span (client's).
+        net = [s for s in trace.spans if s.name == "network"]
+        assert [s.mtp for s in net] == [True, False], "network span ownership"
+        # Every Fig. 12 category integrates to a finite number.
+        cats = set(trace.energy_stages())
+        assert cats <= set(ENERGY_CATEGORIES), f"unknown categories {cats}"
+        assert record.energy.total > 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="trace output dir (default: tmp)")
+    args = parser.parse_args(argv)
+
+    from repro.core.roi_sizing import plan_roi_window
+    from repro.platform.device import get_device
+    from repro.render.games import build_game
+    from repro.sr.pretrained import default_sr_model
+    from repro.sr.runner import SRRunner
+    from repro.streaming import GameStreamServer, StreamGeometry, run_session
+
+    device = get_device("samsung_tab_s8")
+    plan = plan_roi_window(device)
+    runner = SRRunner(default_sr_model(profile="tiny"))
+    geometry = StreamGeometry(eval_lr_height=64, eval_lr_width=112, lr_source="native")
+
+    out_dir = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="traces-"))
+    for client, roi_side in build_clients(device, runner, plan):
+        server = GameStreamServer(
+            build_game("G3"), geometry, roi_side=roi_side, gop_size=GOP
+        )
+        result = run_session(server, client, n_frames=N_FRAMES)
+        check_session(result, out_dir)
+        print(
+            f"ok: {result.design:22s} mtp {result.mean_mtp().total_ms:7.2f} ms  "
+            f"energy {result.mean_energy().total:7.2f} mJ  traces validated"
+        )
+    print(f"ok: schema-validated trace exports in {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

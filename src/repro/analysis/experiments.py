@@ -35,7 +35,7 @@ from ..streaming.client import (
 from ..streaming.frames import StreamGeometry
 from ..streaming.server import GameStreamServer
 from ..streaming.session import SessionResult, run_session
-from .parallel import run_session_matrix
+from .parallel import run_session_matrix, session_cache_key
 from .prerender import PrerenderedWorkload, rendered_sequence
 
 __all__ = [
@@ -157,7 +157,9 @@ def _cached_session(kind: str, **kwargs) -> SessionResult:
             **params,
         )
 
-    return load_or_build(f"session-{kind}", {"kind": kind, **kwargs}, build, subdir="sessions")
+    return load_or_build(
+        f"session-{kind}", session_cache_key(kind, kwargs), build, subdir="sessions"
+    )
 
 
 def performance_sessions(

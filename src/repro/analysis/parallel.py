@@ -27,14 +27,37 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 from ..cache import artifact_path, cache_disabled
 
-__all__ = ["SessionTask", "default_worker_count", "run_session_matrix"]
+__all__ = [
+    "SESSION_CACHE_SCHEMA",
+    "SessionTask",
+    "default_worker_count",
+    "run_session_matrix",
+    "session_cache_key",
+]
 
 #: (kind, kwargs) pair identifying one cached session — ``kind`` selects
 #: the geometry/quality mode ("perf" or "quality"), ``kwargs`` are the
 #: exact keyword arguments of ``repro.analysis.experiments._cached_session``.
 SessionTask = Tuple[str, Dict[str, Any]]
 
+#: Version of the cached-session artifact layout. Bumped whenever the
+#: pickled ``SessionResult`` schema changes shape in ways old readers
+#: would mis-handle (v2: staged pipeline — per-frame traces + metrics
+#: registry attached). Part of the cache key, so stale seed-era pickles
+#: are never loaded into the new code.
+SESSION_CACHE_SCHEMA = 2
+
 _MAX_DEFAULT_WORKERS = 8
+
+
+def session_cache_key(kind: str, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """The one place the session artifact cache key is assembled.
+
+    Both the serial path (``experiments._cached_session``) and the
+    parallel scheduler's existence probe must use this exact dict, or the
+    fan-out would rebuild sessions the serial path considers cached.
+    """
+    return {"kind": kind, "schema": SESSION_CACHE_SCHEMA, **kwargs}
 
 
 def default_worker_count() -> int:
@@ -53,7 +76,7 @@ def default_worker_count() -> int:
 def _task_cached(task: SessionTask) -> bool:
     kind, kwargs = task
     return artifact_path(
-        f"session-{kind}", {"kind": kind, **kwargs}, subdir="sessions"
+        f"session-{kind}", session_cache_key(kind, kwargs), subdir="sessions"
     ).exists()
 
 

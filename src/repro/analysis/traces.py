@@ -1,0 +1,145 @@
+"""Analysis over per-frame pipeline traces and session metrics.
+
+These builders consume the structured :class:`~repro.streaming.pipeline.
+FrameTrace` records and :class:`~repro.observability.MetricsRegistry`
+snapshot a staged :func:`~repro.streaming.session.run_session` attaches
+to its :class:`~repro.streaming.session.SessionResult`, instead of the
+aggregate ``FrameRecord`` fields. They are the observability payoff of
+the staged pipeline: MTP and energy tables derived straight from spans,
+wall-clock simulation profiles, and transport-health summaries that have
+no pre-trace equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..platform.device import get_device
+from ..platform.energy import stage_energy_mj
+from ..streaming.mtp import MTP_STAGES
+from ..streaming.session import SessionResult
+
+__all__ = [
+    "trace_mtp_table",
+    "trace_energy_table",
+    "wall_clock_profile",
+    "network_health",
+]
+
+
+def _require_traces(result: SessionResult) -> List:
+    traces = result.frame_traces()
+    if not traces:
+        raise ValueError(
+            "session carries no frame traces (hand-built records?); "
+            "re-run the session through run_session"
+        )
+    return traces
+
+
+def trace_mtp_table(result: SessionResult) -> List[Dict[str, Any]]:
+    """Per-stage MTP rows (mean/max modeled ms) computed from the traces.
+
+    Numerically identical to averaging ``FrameRecord.mtp`` — both are
+    views of the same spans — but carried per stage with worst-case
+    frames attached, which the aggregate breakdown cannot express.
+    """
+    traces = _require_traces(result)
+    rows = []
+    for stage in MTP_STAGES:
+        series = [t.stage_ms(stage) for t in traces]
+        worst = int(np.argmax(series))
+        rows.append(
+            {
+                "stage": stage,
+                "mean_ms": float(np.mean(series)),
+                "max_ms": float(series[worst]),
+                "max_frame": traces[worst].index,
+            }
+        )
+    rows.append(
+        {
+            "stage": "total",
+            "mean_ms": float(np.mean([t.total_modeled_ms for t in traces])),
+            "max_ms": float(max(t.total_modeled_ms for t in traces)),
+            "max_frame": max(traces, key=lambda t: t.total_modeled_ms).index,
+        }
+    )
+    return rows
+
+
+def trace_energy_table(result: SessionResult) -> List[Dict[str, Any]]:
+    """Per-component energy rows (Fig. 12 drill-down) from the traces.
+
+    Splits each category into its hardware components — e.g. ``upscale``
+    into NPU vs GPU mJ — which the category-level ``EnergyBreakdown``
+    aggregates away.
+    """
+    traces = _require_traces(result)
+    device = get_device(result.device_name)
+    totals: Dict[tuple, float] = {}
+    for trace in traces:
+        for span in trace.spans:
+            for attr in span.energy:
+                key = (attr.resolved_category(span.name), attr.component.value)
+                totals[key] = totals.get(key, 0.0) + stage_energy_mj(
+                    device, attr.component, attr.ms
+                )
+    n = len(traces)
+    return [
+        {
+            "category": category,
+            "component": component,
+            "mean_mj_per_frame": mj / n,
+        }
+        for (category, component), mj in sorted(totals.items())
+    ]
+
+
+def wall_clock_profile(result: SessionResult) -> List[Dict[str, Any]]:
+    """Mean *real* wall-clock cost of each simulation stage, in ms.
+
+    This profiles the simulator itself (where does `run_session` spend
+    its time?), not the modeled platform — only traces know it, because
+    the legacy timing dicts never recorded wall clock.
+    """
+    traces = _require_traces(result)
+    acc: Dict[str, List[float]] = {}
+    for trace in traces:
+        for span in trace.spans:
+            acc.setdefault(span.name, []).append(span.wall_ms)
+    total = sum(sum(v) for v in acc.values())
+    return [
+        {
+            "stage": name,
+            "mean_wall_ms": float(np.mean(series)),
+            "share_pct": 100.0 * sum(series) / total if total > 0 else 0.0,
+        }
+        for name, series in acc.items()
+    ]
+
+
+def network_health(result: SessionResult) -> Dict[str, Any]:
+    """Transport-stage health summary: drops, retransmissions, latency.
+
+    Combines the per-record transport flags with the metrics registry's
+    ``stage_ms/network`` histogram (p50/p95/max network latency). On the
+    flat default link drops and retransmissions are structurally zero.
+    """
+    out: Dict[str, Any] = {
+        "frames": len(result.records),
+        "drop_rate": result.drop_rate(),
+        "total_retransmissions": result.total_retransmissions(),
+    }
+    if result.metrics is not None and "stage_ms/network" in result.metrics.names():
+        hist = result.metrics.histogram("stage_ms/network")
+        out.update(
+            {
+                "network_ms_p50": hist.quantile(0.5),
+                "network_ms_p95": hist.quantile(0.95),
+                "network_ms_max": hist.max,
+            }
+        )
+    return out

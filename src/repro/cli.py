@@ -107,6 +107,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"energy {result.gop_weighted_energy(60).total:6.1f} mJ/frame | "
             f"60 FPS: {result.realtime_conformant()}"
         )
+        if args.trace_json:
+            from .observability import validate_session_trace
+
+            out_dir = Path(args.trace_json)
+            validate_session_trace(result.to_trace_dict())
+            path = result.export_trace_json(out_dir / f"{args.game}_{label}_trace.json")
+            print(f"  trace -> {path}")
     return 0
 
 
@@ -140,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--device", default="samsung_tab_s8")
     stream.add_argument("--frames", type=int, default=8)
     stream.add_argument("--profile", default="tiny", help="SR model profile")
+    stream.add_argument(
+        "--trace-json",
+        default=None,
+        metavar="DIR",
+        help="export a schema-validated per-frame trace JSON per design into DIR",
+    )
     stream.set_defaults(fn=_cmd_stream)
     return parser
 

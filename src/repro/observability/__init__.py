@@ -1,0 +1,54 @@
+"""Per-frame observability: metrics registry + trace export schema.
+
+This package is intentionally free of streaming imports (the streaming
+session loop imports *us*): :class:`MetricsRegistry` is fed duck-typed
+:class:`~repro.streaming.pipeline.FrameTrace` objects via
+:func:`observe_frame_trace`, and :mod:`repro.observability.schema` pins
+the JSON contract of the session trace export.
+"""
+
+from __future__ import annotations
+
+from .metrics import Counter, Histogram, MetricsRegistry, default_latency_buckets
+from .schema import (
+    FRAME_TRACE_SCHEMA,
+    SESSION_TRACE_SCHEMA,
+    STAGE_SPAN_SCHEMA,
+    SchemaError,
+    validate,
+    validate_session_trace,
+)
+
+__all__ = [
+    "Counter",
+    "FRAME_TRACE_SCHEMA",
+    "Histogram",
+    "MetricsRegistry",
+    "SESSION_TRACE_SCHEMA",
+    "STAGE_SPAN_SCHEMA",
+    "SchemaError",
+    "default_latency_buckets",
+    "observe_frame_trace",
+    "validate",
+    "validate_session_trace",
+]
+
+
+def observe_frame_trace(registry: MetricsRegistry, trace) -> None:
+    """Feed one frame's trace into the registry.
+
+    Records a latency histogram per stage (``stage_ms/<name>``), frame and
+    retransmission counters, and deadline-drop counts surfaced by the
+    transport stage metadata. ``trace`` is duck-typed so this package
+    never imports the streaming layer.
+    """
+    registry.counter("frames_total").inc()
+    for span in trace.spans:
+        registry.histogram(f"stage_ms/{span.name}").observe(span.modeled_ms)
+        registry.histogram(f"stage_wall_ms/{span.name}").observe(span.wall_ms)
+        if span.metadata.get("dropped"):
+            registry.counter("frames_dropped").inc()
+        retx = span.metadata.get("n_retransmissions")
+        if retx:
+            registry.counter("network_retransmissions").inc(retx)
+    registry.histogram("frame_total_ms").observe(trace.total_modeled_ms)

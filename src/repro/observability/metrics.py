@@ -1,0 +1,151 @@
+"""Lightweight metrics primitives: counters + streaming histograms.
+
+A deliberately tiny, dependency-free metrics layer (in the spirit of a
+Prometheus client, scoped to what the streaming simulator needs): the
+session loop feeds per-frame :class:`~repro.streaming.pipeline.FrameTrace`
+spans into a :class:`MetricsRegistry`, and analysis/CLI consumers export
+the registry as JSON next to the raw traces.
+
+Histograms are *streaming*: they keep count/sum/min/max plus fixed bucket
+counts (log-spaced by default, which suits latencies spanning 0.01 ms
+display waits to 300 ms full-frame SR), so memory stays O(buckets) no
+matter how many frames a session streams.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "default_latency_buckets"]
+
+
+def default_latency_buckets(
+    start_ms: float = 0.01, factor: float = 2.0, count: int = 18
+) -> List[float]:
+    """Log-spaced bucket upper bounds: 0.01 ms .. ~1.3 s by default."""
+    if start_ms <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start_ms > 0, factor > 1, count >= 1")
+    return [start_ms * factor**i for i in range(count)]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket streaming histogram with count/sum/min/max."""
+
+    name: str
+    #: Inclusive upper bounds of the finite buckets; observations above
+    #: the last bound land in the implicit +inf overflow bucket.
+    bounds: Sequence[float] = field(default_factory=default_latency_buckets)
+    counts: List[int] = field(init=False)
+    count: int = field(init=False, default=0)
+    sum: float = field(init=False, default=0.0)
+    min: float = field(init=False, default=math.inf)
+    max: float = field(init=False, default=-math.inf)
+
+    def __post_init__(self) -> None:
+        bounds = list(self.bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + overflow bucket
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket upper bounds (conservative)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target and n:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name in self._histograms:
+            raise ValueError(f"{name!r} is already registered as a histogram")
+        return self._counters.setdefault(name, Counter(name))
+
+    def histogram(self, name: str, bounds: Optional[Sequence[float]] = None) -> Histogram:
+        if name in self._counters:
+            raise ValueError(f"{name!r} is already registered as a counter")
+        if name not in self._histograms:
+            self._histograms[name] = (
+                Histogram(name, bounds) if bounds is not None else Histogram(name)
+            )
+        return self._histograms[name]
+
+    def names(self) -> List[str]:
+        return sorted(list(self._counters) + list(self._histograms))
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for name in self.names():
+            metric = self._counters.get(name) or self._histograms[name]
+            out[name] = metric.to_dict()
+        return out
+
+    def export_json(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path

@@ -1,0 +1,136 @@
+"""Trace-export JSON schema and a dependency-free validator.
+
+The per-session trace export (``SessionResult.to_trace_dict``) is the
+machine-readable contract between the simulator and external tooling
+(dashboards, regression diffing, the pipeline smoke in
+``scripts/check.sh``). :data:`SESSION_TRACE_SCHEMA` pins that contract;
+:func:`validate` checks an instance against the JSON-Schema subset used
+here (type / properties / required / items / enum / additionalProperties)
+without pulling in a jsonschema dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Union
+
+__all__ = [
+    "SchemaError",
+    "SESSION_TRACE_SCHEMA",
+    "FRAME_TRACE_SCHEMA",
+    "STAGE_SPAN_SCHEMA",
+    "validate",
+    "validate_session_trace",
+]
+
+
+class SchemaError(ValueError):
+    """An instance violated the schema; ``path`` points at the offender."""
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[expected])
+
+
+def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> None:
+    """Validate ``instance`` against the supported JSON-Schema subset."""
+    expected = schema.get("type")
+    if expected is not None:
+        types: List[str] = [expected] if isinstance(expected, str) else list(expected)
+        if not any(_type_ok(instance, t) for t in types):
+            raise SchemaError(
+                f"{path}: expected type {' or '.join(types)}, "
+                f"got {type(instance).__name__}"
+            )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(f"{path}: {instance!r} not in enum {schema['enum']}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaError(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, subschema in properties.items():
+            if name in instance:
+                validate(instance[name], subschema, f"{path}.{name}")
+        if schema.get("additionalProperties") is False:
+            extra = set(instance) - set(properties)
+            if extra:
+                raise SchemaError(f"{path}: unexpected properties {sorted(extra)}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+_NON_NEGATIVE_NUMBER = {"type": "number"}
+
+STAGE_SPAN_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["name", "modeled_ms", "wall_ms", "mtp", "energy"],
+    "properties": {
+        "name": {"type": "string"},
+        "modeled_ms": _NON_NEGATIVE_NUMBER,
+        "wall_ms": _NON_NEGATIVE_NUMBER,
+        "mtp": {"type": "boolean"},
+        "energy": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["component", "ms", "category"],
+                "properties": {
+                    "component": {"type": "string"},
+                    "ms": _NON_NEGATIVE_NUMBER,
+                    "category": {"enum": ["network", "decode", "upscale"]},
+                },
+            },
+        },
+        "metadata": {"type": "object"},
+    },
+}
+
+FRAME_TRACE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["index", "frame_type", "total_modeled_ms", "spans"],
+    "properties": {
+        "index": {"type": "integer"},
+        "frame_type": {"type": ["string", "null"]},
+        "total_modeled_ms": _NON_NEGATIVE_NUMBER,
+        "spans": {"type": "array", "items": STAGE_SPAN_SCHEMA},
+    },
+}
+
+SESSION_TRACE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["session", "frames", "metrics"],
+    "properties": {
+        "session": {
+            "type": "object",
+            "required": ["game_id", "design", "device", "n_frames", "gop_size"],
+            "properties": {
+                "game_id": {"type": "string"},
+                "design": {"type": "string"},
+                "device": {"type": "string"},
+                "n_frames": {"type": "integer"},
+                "gop_size": {"type": "integer"},
+            },
+        },
+        "frames": {"type": "array", "items": FRAME_TRACE_SCHEMA},
+        "metrics": {"type": "object"},
+    },
+}
+
+
+def validate_session_trace(instance: Any) -> None:
+    """Validate one session trace export against the pinned schema."""
+    validate(instance, SESSION_TRACE_SCHEMA)

@@ -10,15 +10,36 @@ from .client import (
     StreamingClient,
 )
 from .frames import ClientFrameResult, ROI_METADATA_BYTES, ServerFrame, StreamGeometry
-from .mtp import MTP_STAGES, MTPBreakdown, mtp_from_frame
+from .mtp import MTP_STAGES, MTPBreakdown, mtp_from_frame, mtp_from_trace
+from .pipeline import (
+    CLIENT_STAGES,
+    ENERGY_CATEGORIES,
+    EnergyAttribution,
+    FrameTrace,
+    SERVER_STAGES,
+    Stage,
+    StageSpan,
+    TransmissionSplit,
+    split_transmission,
+)
 from .server import GameStreamServer
-from .session import FrameRecord, SessionResult, energy_of_frame, run_session
+from .session import (
+    FrameRecord,
+    SessionResult,
+    energy_from_trace,
+    energy_of_frame,
+    run_session,
+)
 
 __all__ = [
     "AdaptiveRoIController",
     "BilinearClient",
+    "CLIENT_STAGES",
     "ClientFrameResult",
+    "ENERGY_CATEGORIES",
+    "EnergyAttribution",
     "FrameRecord",
+    "FrameTrace",
     "FullFrameSRClient",
     "GameStreamSRClient",
     "GameStreamServer",
@@ -26,12 +47,19 @@ __all__ = [
     "MTP_STAGES",
     "NemoClient",
     "ROI_METADATA_BYTES",
+    "SERVER_STAGES",
     "SRIntegratedDecoderClient",
     "ServerFrame",
     "SessionResult",
+    "Stage",
+    "StageSpan",
     "StreamGeometry",
     "StreamingClient",
+    "TransmissionSplit",
+    "energy_from_trace",
     "energy_of_frame",
     "mtp_from_frame",
+    "mtp_from_trace",
     "run_session",
+    "split_transmission",
 ]

@@ -6,6 +6,14 @@ with (a) real upscaled pixels at the evaluation geometry and (b) stage
 latencies + energy stage lists evaluated at the *modeled* geometry
 (720p -> 1440p) through the calibrated platform model.
 
+The client pipeline is staged (Fig. 9): :meth:`StreamingClient.process`
+is a template method that records the shared network-receive, decode, and
+display spans into a :class:`~repro.streaming.pipeline.FrameTrace` and
+assembles the :class:`ClientFrameResult`; each design only implements its
+:meth:`~StreamingClient._upscale_stage` (and may amend the decode span —
+the SR-integrated decoder replaces it with its augmented datapath, NEMO
+charges its in-decoder warp energy to it).
+
 Designs:
 
 * :class:`GameStreamSRClient` — the paper's design: hardware decode, DNN
@@ -41,6 +49,7 @@ from ..platform.energy import Component
 from ..sr.interpolate import bicubic, bilinear
 from ..sr.runner import SRRunner
 from .frames import ClientFrameResult, ServerFrame
+from .pipeline import CLIENT_STAGES, FrameTrace, split_transmission
 
 __all__ = [
     "StreamingClient",
@@ -55,10 +64,16 @@ EnergyStages = Dict[str, List[Tuple[Component, float]]]
 
 
 class StreamingClient:
-    """Base class: owns the video decoder and the device profile."""
+    """Base class: owns the decoder, the device profile, and the template
+    pipeline (network rx -> decode -> upscale -> display -> assemble)."""
 
     #: Human-readable design label used in reports.
     design = "abstract"
+    #: Whether the design can use the hardware decoder block (NEMO's codec
+    #: modifications force the software decoder, Sec. V-A).
+    decode_hardware = True
+    #: Component charged for the decode stage energy.
+    decode_component = Component.HW_DECODER
 
     def __init__(self, device: DeviceProfile) -> None:
         self.device = device
@@ -67,20 +82,58 @@ class StreamingClient:
     def reset(self) -> None:
         self.decoder.reset()
 
-    # -- shared helpers --------------------------------------------------
-    def _decode(self, frame: ServerFrame, hardware: bool) -> tuple[DecodedFrame, float]:
-        decoded = self.decoder.decode_frame(frame.encoded)
-        ms = lat.decode_ms(
-            frame.geometry.modeled_lr_pixels, self.device, hardware=hardware
-        )
-        return decoded, ms
-
-    def _network_stage(self, frame: ServerFrame) -> tuple[float, EnergyStages]:
-        rx_ms = lat.transmission_ms(frame.modeled_size_bytes) - lat.transmission_ms(0)
-        return rx_ms, {"network": [(Component.NETWORK_RX, rx_ms)]}
-
+    # -- template pipeline ----------------------------------------------
     def process(self, frame: ServerFrame) -> ClientFrameResult:
+        """Run one frame through the staged client pipeline."""
+        self._check_frame(frame)
+        trace = FrameTrace(index=frame.index, frame_type=frame.encoded.frame_type)
+
+        with trace.stage("network", mtp=False) as st:
+            # Energy-only span: the server's network span owns the MTP
+            # downlink time; the client attributes the radio-active
+            # serialization window to RX energy exactly once (pipeline.py).
+            split = split_transmission(frame.modeled_size_bytes)
+            st.modeled_ms = split.serialization_ms
+            st.add_energy(Component.NETWORK_RX, split.serialization_ms)
+            st.meta(modeled_bytes=frame.modeled_size_bytes)
+
+        with trace.stage("decode") as st:
+            decoded = self.decoder.decode_frame(frame.encoded)
+            decode_ms = lat.decode_ms(
+                frame.geometry.modeled_lr_pixels, self.device,
+                hardware=self.decode_hardware,
+            )
+            st.modeled_ms = decode_ms
+            st.add_energy(self.decode_component, decode_ms)
+            st.meta(hardware=self.decode_hardware)
+
+        hr = self._upscale_stage(frame, decoded, trace)
+
+        with trace.stage("display") as st:
+            st.modeled_ms = self._display_ms(frame, trace)
+
+        return ClientFrameResult(
+            index=frame.index,
+            frame_type=frame.encoded.frame_type,
+            hr_frame=hr,
+            client_timings_ms=trace.timings_ms(CLIENT_STAGES),
+            energy_stages=trace.energy_stages(),
+            trace=trace,
+        )
+
+    # -- design hooks ----------------------------------------------------
+    def _check_frame(self, frame: ServerFrame) -> None:
+        """Validate per-design frame requirements before any work."""
+
+    def _upscale_stage(
+        self, frame: ServerFrame, decoded: DecodedFrame, trace: FrameTrace
+    ) -> np.ndarray:
+        """Record the design's upscale span(s) and return the HR pixels."""
         raise NotImplementedError
+
+    def _display_ms(self, frame: ServerFrame, trace: FrameTrace) -> float:
+        """Display-stage latency; designs may add composition work."""
+        return lat.display_present_ms(self.device)
 
 
 class GameStreamSRClient(StreamingClient):
@@ -106,38 +159,37 @@ class GameStreamSRClient(StreamingClient):
             return self.modeled_roi_side**2
         return frame.geometry.modeled_roi_pixels(frame.roi)
 
-    def process(self, frame: ServerFrame) -> ClientFrameResult:
+    def _check_frame(self, frame: ServerFrame) -> None:
         if frame.roi is None:
             raise ValueError("GameStreamSRClient requires server-side RoI data")
-        geometry = frame.geometry
-        decoded, decode_ms = self._decode(frame, hardware=True)
-        result = self.upscaler.upscale(decoded.rgb, frame.roi)
 
-        roi_px = self._modeled_roi_pixels(frame)
-        non_roi_px = geometry.modeled_lr_pixels - roi_px
-        npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
-        gpu_ms = lat.gpu_bilinear_ms(non_roi_px, self.device)
-        merge_ms = lat.merge_ms(geometry.modeled_hr_pixels, self.device)
-        # NPU and GPU run in parallel (Sec. IV-C); the RoI merge is a
-        # composition copy and lands in the display stage.
-        upscale_ms = max(npu_ms, gpu_ms)
-        rx_ms, energy = self._network_stage(frame)
-        energy["decode"] = [(Component.HW_DECODER, decode_ms)]
-        energy["upscale"] = [
-            (Component.NPU, npu_ms),
-            (Component.GPU, gpu_ms + merge_ms),
-        ]
-        return ClientFrameResult(
-            index=frame.index,
-            frame_type=frame.encoded.frame_type,
-            hr_frame=result.frame,
-            client_timings_ms={
-                "decode": decode_ms,
-                "upscale": upscale_ms,
-                "display": lat.display_present_ms(self.device) + merge_ms,
-            },
-            energy_stages=energy,
-        )
+    def _upscale_stage(
+        self, frame: ServerFrame, decoded: DecodedFrame, trace: FrameTrace
+    ) -> np.ndarray:
+        geometry = frame.geometry
+        with trace.stage("upscale") as st:
+            result = self.upscaler.upscale(decoded.rgb, frame.roi)
+
+            roi_px = self._modeled_roi_pixels(frame)
+            non_roi_px = geometry.modeled_lr_pixels - roi_px
+            npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
+            gpu_ms = lat.gpu_bilinear_ms(non_roi_px, self.device)
+            merge_ms = lat.merge_ms(geometry.modeled_hr_pixels, self.device)
+            # NPU and GPU run in parallel (Sec. IV-C); the RoI merge is a
+            # composition copy and lands in the display stage, while its
+            # GPU energy belongs to the upscale category (Fig. 12).
+            st.modeled_ms = max(npu_ms, gpu_ms)
+            st.add_energy(Component.NPU, npu_ms)
+            st.add_energy(Component.GPU, gpu_ms + merge_ms)
+            st.meta(
+                npu_ms=npu_ms, gpu_ms=gpu_ms, merge_ms=merge_ms,
+                modeled_roi_pixels=roi_px,
+            )
+        return result.frame
+
+    def _display_ms(self, frame: ServerFrame, trace: FrameTrace) -> float:
+        merge_ms = trace.span("upscale").metadata["merge_ms"]
+        return lat.display_present_ms(self.device) + merge_ms
 
 
 class NemoClient(StreamingClient):
@@ -150,6 +202,8 @@ class NemoClient(StreamingClient):
     """
 
     design = "nemo"
+    decode_hardware = False
+    decode_component = Component.CPU
 
     def __init__(self, device: DeviceProfile, runner: SRRunner, sr_tile: int = 72) -> None:
         super().__init__(device)
@@ -161,53 +215,38 @@ class NemoClient(StreamingClient):
         super().reset()
         self._hr_reference = None
 
-    def process(self, frame: ServerFrame) -> ClientFrameResult:
+    def _upscale_stage(
+        self, frame: ServerFrame, decoded: DecodedFrame, trace: FrameTrace
+    ) -> np.ndarray:
         geometry = frame.geometry
-        decoded, decode_ms = self._decode(frame, hardware=False)
-        scale = geometry.scale
-        rx_ms, energy = self._network_stage(frame)
+        with trace.stage("upscale") as st:
+            if decoded.is_reference or self._hr_reference is None:
+                hr = self.runner.upscale_tiled(decoded.rgb, tile=self.sr_tile)
+                npu_ms = lat.npu_sr_latency_ms(geometry.modeled_lr_pixels, self.device)
+                st.modeled_ms = npu_ms
+                st.add_energy(Component.NPU, npu_ms)
+                st.meta(path="full_frame_sr")
+            else:
+                from ..baselines.nemo import reconstruct_nonreference
 
-        if decoded.is_reference or self._hr_reference is None:
-            hr = self.runner.upscale_tiled(decoded.rgb, tile=self.sr_tile)
+                hr = reconstruct_nonreference(
+                    self._hr_reference,
+                    decoded.motion_vectors,
+                    decoded.residual_rgb,
+                    scale=geometry.scale,
+                    block=frame.encoded.block,
+                )
+                cpu_up_ms = lat.cpu_bilinear_ms(geometry.modeled_lr_pixels, self.device)
+                warp_ms = lat.cpu_warp_ms(geometry.modeled_hr_pixels, self.device)
+                st.modeled_ms = cpu_up_ms + warp_ms
+                st.add_energy(Component.CPU, cpu_up_ms)
+                # Energy accounting note (calibration.py): the warp runs
+                # inside NEMO's modified decoder, so its energy lands in
+                # the decode category.
+                trace.add_energy("decode", Component.RECON_MEMORY, warp_ms)
+                st.meta(path="warp_reconstruction", warp_ms=warp_ms)
             self._hr_reference = hr
-            npu_ms = lat.npu_sr_latency_ms(geometry.modeled_lr_pixels, self.device)
-            upscale_ms = npu_ms
-            energy["decode"] = [(Component.CPU, decode_ms)]
-            energy["upscale"] = [(Component.NPU, npu_ms)]
-        else:
-            from ..baselines.nemo import reconstruct_nonreference
-
-            hr = reconstruct_nonreference(
-                self._hr_reference,
-                decoded.motion_vectors,
-                decoded.residual_rgb,
-                scale=scale,
-                block=frame.encoded.block,
-            )
-            self._hr_reference = hr
-
-            cpu_up_ms = lat.cpu_bilinear_ms(geometry.modeled_lr_pixels, self.device)
-            warp_ms = lat.cpu_warp_ms(geometry.modeled_hr_pixels, self.device)
-            upscale_ms = cpu_up_ms + warp_ms
-            # Energy accounting note (calibration.py): the warp runs inside
-            # NEMO's modified decoder, so its energy lands in "decode".
-            energy["decode"] = [
-                (Component.CPU, decode_ms),
-                (Component.RECON_MEMORY, warp_ms),
-            ]
-            energy["upscale"] = [(Component.CPU, cpu_up_ms)]
-
-        return ClientFrameResult(
-            index=frame.index,
-            frame_type=frame.encoded.frame_type,
-            hr_frame=hr,
-            client_timings_ms={
-                "decode": decode_ms,
-                "upscale": upscale_ms,
-                "display": lat.display_present_ms(self.device),
-            },
-            energy_stages=energy,
-        )
+        return hr
 
 
 class BilinearClient(StreamingClient):
@@ -215,28 +254,19 @@ class BilinearClient(StreamingClient):
 
     design = "bilinear"
 
-    def process(self, frame: ServerFrame) -> ClientFrameResult:
+    def _upscale_stage(
+        self, frame: ServerFrame, decoded: DecodedFrame, trace: FrameTrace
+    ) -> np.ndarray:
         geometry = frame.geometry
-        decoded, decode_ms = self._decode(frame, hardware=True)
-        s = geometry.scale
-        hr = bilinear(
-            decoded.rgb, geometry.eval_lr_height * s, geometry.eval_lr_width * s
-        )
-        gpu_ms = lat.gpu_bilinear_ms(geometry.modeled_lr_pixels, self.device)
-        rx_ms, energy = self._network_stage(frame)
-        energy["decode"] = [(Component.HW_DECODER, decode_ms)]
-        energy["upscale"] = [(Component.GPU, gpu_ms)]
-        return ClientFrameResult(
-            index=frame.index,
-            frame_type=frame.encoded.frame_type,
-            hr_frame=hr,
-            client_timings_ms={
-                "decode": decode_ms,
-                "upscale": gpu_ms,
-                "display": lat.display_present_ms(self.device),
-            },
-            energy_stages=energy,
-        )
+        with trace.stage("upscale") as st:
+            s = geometry.scale
+            hr = bilinear(
+                decoded.rgb, geometry.eval_lr_height * s, geometry.eval_lr_width * s
+            )
+            gpu_ms = lat.gpu_bilinear_ms(geometry.modeled_lr_pixels, self.device)
+            st.modeled_ms = gpu_ms
+            st.add_energy(Component.GPU, gpu_ms)
+        return hr
 
 
 class FullFrameSRClient(StreamingClient):
@@ -249,25 +279,17 @@ class FullFrameSRClient(StreamingClient):
         self.runner = runner
         self.sr_tile = sr_tile
 
-    def process(self, frame: ServerFrame) -> ClientFrameResult:
-        geometry = frame.geometry
-        decoded, decode_ms = self._decode(frame, hardware=True)
-        hr = self.runner.upscale_tiled(decoded.rgb, tile=self.sr_tile)
-        npu_ms = lat.npu_sr_latency_ms(geometry.modeled_lr_pixels, self.device)
-        rx_ms, energy = self._network_stage(frame)
-        energy["decode"] = [(Component.HW_DECODER, decode_ms)]
-        energy["upscale"] = [(Component.NPU, npu_ms)]
-        return ClientFrameResult(
-            index=frame.index,
-            frame_type=frame.encoded.frame_type,
-            hr_frame=hr,
-            client_timings_ms={
-                "decode": decode_ms,
-                "upscale": npu_ms,
-                "display": lat.display_present_ms(self.device),
-            },
-            energy_stages=energy,
-        )
+    def _upscale_stage(
+        self, frame: ServerFrame, decoded: DecodedFrame, trace: FrameTrace
+    ) -> np.ndarray:
+        with trace.stage("upscale") as st:
+            hr = self.runner.upscale_tiled(decoded.rgb, tile=self.sr_tile)
+            npu_ms = lat.npu_sr_latency_ms(
+                frame.geometry.modeled_lr_pixels, self.device
+            )
+            st.modeled_ms = npu_ms
+            st.add_energy(Component.NPU, npu_ms)
+        return hr
 
 
 class SRIntegratedDecoderClient(StreamingClient):
@@ -277,6 +299,8 @@ class SRIntegratedDecoderClient(StreamingClient):
     augmented) hardware decoder reconstructs them in HR from the cached
     upscaled reference using 2x-scaled motion vectors, with RoI-guided
     residual interpolation — bicubic inside the RoI, bilinear outside.
+    In trace terms: the upscale span collapses to zero and the decode
+    span is *amended* with the augmented-datapath cost.
     """
 
     design = "sr_integrated_decoder"
@@ -300,6 +324,10 @@ class SRIntegratedDecoderClient(StreamingClient):
         super().reset()
         self._hr_reference = None
 
+    def _check_frame(self, frame: ServerFrame) -> None:
+        if frame.roi is None:
+            raise ValueError("SRIntegratedDecoderClient requires RoI data")
+
     def _roi_guided_residual(
         self, residual: np.ndarray, roi: RoIBox, h_hr: int, w_hr: int
     ) -> np.ndarray:
@@ -311,62 +339,62 @@ class SRIntegratedDecoderClient(StreamingClient):
         )
         return upscaled
 
-    def process(self, frame: ServerFrame) -> ClientFrameResult:
-        if frame.roi is None:
-            raise ValueError("SRIntegratedDecoderClient requires RoI data")
+    def _upscale_stage(
+        self, frame: ServerFrame, decoded: DecodedFrame, trace: FrameTrace
+    ) -> np.ndarray:
         geometry = frame.geometry
-        decoded, hw_decode_ms = self._decode(frame, hardware=True)
         s = geometry.scale
-        rx_ms, energy = self._network_stage(frame)
-
-        if decoded.is_reference or self._hr_reference is None:
-            result = self.upscaler.upscale(decoded.rgb, frame.roi)
-            hr = result.frame
-            roi_px = geometry.modeled_roi_pixels(frame.roi)
-            npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
-            gpu_ms = lat.gpu_bilinear_ms(geometry.modeled_lr_pixels - roi_px, self.device)
-            upscale_ms = max(npu_ms, gpu_ms) + lat.merge_ms(
-                geometry.modeled_hr_pixels, self.device
-            )
-            decode_ms = hw_decode_ms
-            energy["decode"] = [(Component.HW_DECODER, decode_ms)]
-            energy["upscale"] = [(Component.NPU, npu_ms), (Component.GPU, gpu_ms)]
-        else:
-            mv_hr = upscale_motion_vectors(decoded.motion_vectors, s)
-            block_hr = frame.encoded.block * s
-            h_hr = geometry.eval_lr_height * s
-            w_hr = geometry.eval_lr_width * s
-            prediction = np.stack(
-                [
-                    compensate(self._hr_reference[..., c], mv_hr, block_hr)
-                    for c in range(3)
-                ],
-                axis=-1,
-            )
-            residual_hr = self._roi_guided_residual(
-                decoded.residual_rgb, frame.roi, h_hr, w_hr
-            )
-            hr = np.clip(prediction + residual_hr, 0.0, 1.0)
-            # Everything happens inside the augmented decoder hardware:
-            # entropy/transform decode plus the HR reconstruction engine.
-            recon_ms = self.RECON_MS_PER_HR_PX * geometry.modeled_hr_pixels
-            decode_ms = hw_decode_ms * self.DECODER_AUGMENT_FACTOR + recon_ms
-            upscale_ms = 0.0
-            energy["decode"] = [
-                (Component.HW_DECODER, hw_decode_ms * self.DECODER_AUGMENT_FACTOR),
-                (Component.COMPOSITION, recon_ms),
-            ]
-            energy["upscale"] = []
-        self._hr_reference = hr
-
-        return ClientFrameResult(
-            index=frame.index,
-            frame_type=frame.encoded.frame_type,
-            hr_frame=hr,
-            client_timings_ms={
-                "decode": decode_ms,
-                "upscale": upscale_ms,
-                "display": lat.display_present_ms(self.device),
-            },
-            energy_stages=energy,
-        )
+        with trace.stage("upscale") as st:
+            if decoded.is_reference or self._hr_reference is None:
+                result = self.upscaler.upscale(decoded.rgb, frame.roi)
+                hr = result.frame
+                roi_px = geometry.modeled_roi_pixels(frame.roi)
+                npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
+                gpu_ms = lat.gpu_bilinear_ms(
+                    geometry.modeled_lr_pixels - roi_px, self.device
+                )
+                st.modeled_ms = max(npu_ms, gpu_ms) + lat.merge_ms(
+                    geometry.modeled_hr_pixels, self.device
+                )
+                st.add_energy(Component.NPU, npu_ms)
+                st.add_energy(Component.GPU, gpu_ms)
+                st.meta(path="roi_sr")
+            else:
+                mv_hr = upscale_motion_vectors(decoded.motion_vectors, s)
+                block_hr = frame.encoded.block * s
+                h_hr = geometry.eval_lr_height * s
+                w_hr = geometry.eval_lr_width * s
+                prediction = np.stack(
+                    [
+                        compensate(self._hr_reference[..., c], mv_hr, block_hr)
+                        for c in range(3)
+                    ],
+                    axis=-1,
+                )
+                residual_hr = self._roi_guided_residual(
+                    decoded.residual_rgb, frame.roi, h_hr, w_hr
+                )
+                hr = np.clip(prediction + residual_hr, 0.0, 1.0)
+                # Everything happens inside the augmented decoder hardware
+                # (entropy/transform decode plus the HR reconstruction
+                # engine): amend the stock decode span with the augmented
+                # datapath's latency and energy, and idle the upscaler.
+                hw_decode_ms = trace.span("decode").modeled_ms
+                recon_ms = self.RECON_MS_PER_HR_PX * geometry.modeled_hr_pixels
+                trace.amend_span(
+                    "decode",
+                    modeled_ms=hw_decode_ms * self.DECODER_AUGMENT_FACTOR + recon_ms,
+                    energy=[
+                        (
+                            Component.HW_DECODER,
+                            hw_decode_ms * self.DECODER_AUGMENT_FACTOR,
+                        ),
+                        (Component.COMPOSITION, recon_ms),
+                    ],
+                    augmented=True,
+                    recon_ms=recon_ms,
+                )
+                st.modeled_ms = 0.0
+                st.meta(path="in_decoder_reconstruction")
+            self._hr_reference = hr
+        return hr

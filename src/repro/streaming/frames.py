@@ -9,6 +9,7 @@ import numpy as np
 
 from ..codec.encoder import EncodedFrame
 from ..core.roi_search import RoIBox
+from .pipeline import FrameTrace
 
 __all__ = ["StreamGeometry", "ServerFrame", "ClientFrameResult", "ROI_METADATA_BYTES"]
 
@@ -93,9 +94,14 @@ class ServerFrame:
     encoded: EncodedFrame
     roi: Optional[RoIBox]
     geometry: StreamGeometry
+    #: Server MTP-stage latencies — a materialized view of ``trace``
+    #: (``trace.timings_ms(SERVER_STAGES)``); kept as a field so direct
+    #: constructors and pickled artifacts stay valid.
     server_timings_ms: Dict[str, float]
     #: Eval-scale encoded payload extrapolated to modeled-scale bytes.
     modeled_size_bytes: int
+    #: Structured per-stage trace recorded by the server pipeline.
+    trace: Optional[FrameTrace] = None
 
     @property
     def is_reference(self) -> bool:
@@ -110,9 +116,13 @@ class ClientFrameResult:
     frame_type: str
     hr_frame: np.ndarray
     #: Client stage latencies at modeled scale: decode, upscale, display.
+    #: A materialized view of ``trace`` (``trace.timings_ms(CLIENT_STAGES)``).
     client_timings_ms: Dict[str, float]
     #: (component, ms) pairs for energy integration, by Fig. 12 category.
+    #: A materialized view of ``trace`` (``trace.energy_stages()``).
     energy_stages: Dict[str, list] = field(default_factory=dict)
+    #: Structured per-stage trace recorded by the client pipeline.
+    trace: Optional[FrameTrace] = None
 
     @property
     def is_reference(self) -> bool:

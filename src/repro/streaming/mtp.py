@@ -14,8 +14,9 @@ from typing import Dict, Iterable
 
 from ..platform import calibration as cal
 from .frames import ClientFrameResult, ServerFrame
+from .pipeline import FrameTrace
 
-__all__ = ["MTP_STAGES", "MTPBreakdown", "mtp_from_frame"]
+__all__ = ["MTP_STAGES", "MTPBreakdown", "mtp_from_frame", "mtp_from_trace"]
 
 #: Pipeline stages in order, matching Fig. 10c's x-axis.
 MTP_STAGES = (
@@ -65,7 +66,25 @@ class MTPBreakdown:
 
 
 def mtp_from_frame(server: ServerFrame, client: ClientFrameResult) -> MTPBreakdown:
-    """Assemble the end-to-end MTP breakdown for one frame."""
+    """Assemble the end-to-end MTP breakdown for one frame.
+
+    When both halves carry a structured trace (the staged pipeline always
+    attaches one) the breakdown is computed from the merged trace; the
+    timing dicts are views of the same spans, so either path yields the
+    same numbers — the dict fallback keeps hand-built frames working.
+    """
+    if server.trace is not None and client.trace is not None:
+        return mtp_from_trace(server.trace.extend(client.trace))
     stages = dict(server.server_timings_ms)
     stages.update(client.client_timings_ms)
     return MTPBreakdown({s: stages.get(s, 0.0) for s in MTP_STAGES})
+
+
+def mtp_from_trace(trace: FrameTrace) -> MTPBreakdown:
+    """MTP breakdown from a merged per-frame trace.
+
+    Only spans recorded with ``mtp=True`` contribute — the client's
+    energy-only network-receive span is excluded, so the downlink is
+    counted exactly once (on the server side, which owns it).
+    """
+    return MTPBreakdown({s: trace.stage_ms(s) for s in MTP_STAGES})

@@ -6,6 +6,13 @@ LR frame + depth buffer, runs the depth-guided RoI detection (when
 enabled), encodes the frame, and returns the :class:`ServerFrame` that
 would travel to the client. Server stage latencies come from the
 calibrated platform model (a desktop-class server, Sec. V-A).
+
+Each stage records a span into the frame's
+:class:`~repro.streaming.pipeline.FrameTrace`; ``server_timings_ms`` is
+the materialized MTP view of that trace. The ``network`` span carries the
+*flat* bandwidth-model downlink by default — :func:`run_session` amends
+it in place when a lossy :class:`~repro.network.NetworkLink` transport is
+injected.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from ..platform import latency as lat
 from ..render.games import GameWorkload
 from ..render.rasterizer import RenderOutput
 from .frames import ROI_METADATA_BYTES, ServerFrame, StreamGeometry
+from .pipeline import SERVER_STAGES, FrameTrace, split_transmission
 
 __all__ = ["GameStreamServer"]
 
@@ -47,6 +55,7 @@ class GameStreamServer:
         self.game = game
         self.geometry = geometry
         self.fps = fps
+        self.roi_config = roi_config
         self.encoder = VideoEncoder(
             gop_size=gop_size, quality=quality, motion_method=motion_method
         )
@@ -59,6 +68,25 @@ class GameStreamServer:
     @property
     def gop_size(self) -> int:
         return self.encoder.gop_size
+
+    @property
+    def roi_side(self) -> Optional[int]:
+        """The detection window side on the eval geometry (None = SOTA mode)."""
+        return self.detector.window_side if self.detector is not None else None
+
+    def set_roi_side(self, side: int) -> None:
+        """Re-negotiate the RoI window side mid-session.
+
+        This is the policy hook an :class:`~repro.streaming.adaptive.
+        AdaptiveRoIController` drives from measured upscale spans; the
+        paper's static sizing never calls it.
+        """
+        if self.detector is None:
+            raise ValueError("cannot resize the RoI window: detection is disabled")
+        if side < 2:
+            raise ValueError(f"RoI side must be >= 2, got {side}")
+        if side != self.detector.window_side:
+            self.detector = RoIDetector(side, self.roi_config)
 
     def _render_hr(self, index: int) -> RenderOutput:
         if self._hr_cache is not None and self._hr_cache[0] == index:
@@ -93,35 +121,63 @@ class GameStreamServer:
         return self._render_hr(index).color
 
     def next_frame(self) -> ServerFrame:
-        """Advance one frame through the server pipeline."""
+        """Advance one frame through the staged server pipeline.
+
+        Every stage records a span into the frame's trace; the returned
+        ``server_timings_ms`` dict is the trace's MTP view and therefore
+        numerically identical to the pre-refactor hand-assembled dict.
+        """
         index = self._index
         self._index += 1
+        trace = FrameTrace(index=index)
 
-        rendered = self.render_lr(index)
-        roi = None
-        roi_detect_ms = 0.0
-        if self.detector is not None:
-            roi = self.detector.detect(rendered.depth).box
-            roi_detect_ms = lat.server_roi_detect_ms()
+        with trace.stage("input") as st:
+            st.modeled_ms = lat.server_input_ms()
+        with trace.stage("game_logic") as st:
+            st.modeled_ms = lat.server_game_logic_ms()
 
-        encoded = self.encoder.encode_frame(rendered.color)
+        with trace.stage("render") as st:
+            rendered = self.render_lr(index)
+            st.modeled_ms = lat.server_render_ms(self.geometry.modeled_lr_pixels)
+            st.meta(lr_source=self.geometry.lr_source)
+
+        with trace.stage("roi_detect") as st:
+            roi = None
+            if self.detector is not None:
+                roi = self.detector.detect(rendered.depth).box
+                st.modeled_ms = lat.server_roi_detect_ms()
+                st.meta(x=roi.x, y=roi.y, width=roi.width, height=roi.height)
+            else:
+                st.meta(enabled=False)
+
+        with trace.stage("encode") as st:
+            encoded = self.encoder.encode_frame(rendered.color)
+            st.modeled_ms = lat.server_encode_ms(self.geometry.modeled_lr_pixels)
+            st.meta(frame_type=encoded.frame_type, payload_bytes=encoded.size_bytes)
+
         modeled_bytes = int(round(encoded.size_bytes * self.geometry.byte_scale))
         if roi is not None:
             modeled_bytes += ROI_METADATA_BYTES
 
-        timings = {
-            "input": lat.server_input_ms(),
-            "game_logic": lat.server_game_logic_ms(),
-            "render": lat.server_render_ms(self.geometry.modeled_lr_pixels),
-            "roi_detect": roi_detect_ms,
-            "encode": lat.server_encode_ms(self.geometry.modeled_lr_pixels),
-            "network": lat.transmission_ms(modeled_bytes),
-        }
+        with trace.stage("network") as st:
+            # Flat bandwidth-model downlink; the server owns the full
+            # propagation + serialization time (see pipeline.py). A lossy
+            # NetworkLink transport, when injected, amends this span.
+            split = split_transmission(modeled_bytes)
+            st.modeled_ms = split.total_ms
+            st.meta(
+                modeled_bytes=modeled_bytes,
+                propagation_ms=split.propagation_ms,
+                serialization_ms=split.serialization_ms,
+            )
+
+        trace.frame_type = encoded.frame_type
         return ServerFrame(
             index=index,
             encoded=encoded,
             roi=roi,
             geometry=self.geometry,
-            server_timings_ms=timings,
+            server_timings_ms=trace.timings_ms(SERVER_STAGES),
             modeled_size_bytes=modeled_bytes,
+            trace=trace,
         )

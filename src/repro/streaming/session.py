@@ -4,26 +4,56 @@
 a client design, collecting per-frame latencies, MTP breakdowns, energy,
 and (optionally) quality against the native HR render. All of the paper's
 evaluation figures are computed from :class:`SessionResult` objects.
+
+The loop is staged end to end: every frame carries a merged
+:class:`~repro.streaming.pipeline.FrameTrace` (server render/RoI/encode/
+network spans + client decode/upscale/display spans) from which the MTP
+and energy aggregates are derived, and which feeds the session's
+:class:`~repro.observability.MetricsRegistry`. Two optional, default-off
+extension hooks wire previously-orphaned subsystems into the loop:
+
+* ``link`` — a lossy :class:`~repro.network.NetworkLink` transport stage
+  replacing the flat bandwidth model: per-frame packetization, random
+  loss, retransmission rounds, and deadline-based frame drops, all
+  surfaced in the network span (Sec. II-A's motivation, end to end).
+* ``adaptive`` — an :class:`~repro.streaming.adaptive.AdaptiveRoIController`
+  policy fed each frame's measured upscale span, driving the server's
+  RoI window side (and a pinned client-side modeled RoI) via AIMD.
+
+With both left at ``None`` the session is numerically identical to the
+paper's static configuration (guarded by the equivalence tests).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..metrics.lpips import lpips as lpips_metric
 from ..metrics.psnr import psnr as psnr_metric
+from ..network.link import NetworkLink
+from ..observability import MetricsRegistry, observe_frame_trace
 from ..platform import calibration as cal
 from ..platform.device import DeviceProfile
 from ..platform.energy import EnergyBreakdown, overhead_mj, stage_energy_mj
+from .adaptive import AdaptiveRoIController
 from .client import StreamingClient
 from .frames import ClientFrameResult, ServerFrame, StreamGeometry
 from .mtp import MTPBreakdown, mtp_from_frame
+from .pipeline import FrameTrace
 from .server import GameStreamServer
 
-__all__ = ["FrameRecord", "SessionResult", "run_session", "energy_of_frame"]
+__all__ = [
+    "FrameRecord",
+    "SessionResult",
+    "run_session",
+    "energy_of_frame",
+    "energy_from_trace",
+]
 
 
 def energy_of_frame(
@@ -44,6 +74,28 @@ def energy_of_frame(
     )
 
 
+def energy_from_trace(device: DeviceProfile, trace: FrameTrace) -> EnergyBreakdown:
+    """Integrate a frame trace's energy attributions into a Fig. 12 breakdown.
+
+    Walks spans in recording order and accumulates per-category totals in
+    the same order as :func:`energy_of_frame` does over the dict view, so
+    both paths produce bit-identical sums.
+    """
+    totals = {"decode": 0.0, "upscale": 0.0, "network": 0.0}
+    for span in trace.spans:
+        for attr in span.energy:
+            category = attr.resolved_category(span.name)
+            if category not in totals:
+                raise ValueError(f"unknown energy category {category!r}")
+            totals[category] += stage_energy_mj(device, attr.component, attr.ms)
+    return EnergyBreakdown(
+        decode=totals["decode"],
+        upscale=totals["upscale"],
+        network=totals["network"],
+        display=overhead_mj(device),
+    )
+
+
 @dataclass(frozen=True)
 class FrameRecord:
     """Everything measured for one streamed frame."""
@@ -56,6 +108,11 @@ class FrameRecord:
     modeled_size_bytes: int
     psnr_db: Optional[float] = None
     lpips: Optional[float] = None
+    #: Transport-stage outcome (always False/0 on the flat default link).
+    dropped: bool = False
+    network_retransmissions: int = 0
+    #: Merged server+client stage trace for this frame.
+    trace: Optional[FrameTrace] = None
 
     @property
     def is_reference(self) -> bool:
@@ -77,6 +134,8 @@ class SessionResult:
     geometry: StreamGeometry
     gop_size: int
     records: List[FrameRecord] = field(default_factory=list)
+    #: Per-session metrics registry fed from the frame traces.
+    metrics: Optional[MetricsRegistry] = None
 
     def _select(self, reference: Optional[bool]) -> List[FrameRecord]:
         if reference is None:
@@ -117,6 +176,43 @@ class SessionResult:
     def psnr_series(self) -> List[float]:
         return [r.psnr_db for r in self.records if r.psnr_db is not None]
 
+    # -- transport/observability aggregates ------------------------------
+
+    def frame_traces(self) -> List[FrameTrace]:
+        """The merged per-frame traces (empty for hand-built records)."""
+        return [r.trace for r in self.records if r.trace is not None]
+
+    def drop_rate(self) -> float:
+        """Fraction of frames the transport stage dropped past deadline."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.dropped) / len(self.records)
+
+    def total_retransmissions(self) -> int:
+        return sum(r.network_retransmissions for r in self.records)
+
+    def to_trace_dict(self) -> Dict[str, Any]:
+        """Structured JSON-able export: session header + per-frame traces
+        + metrics snapshot (schema: ``repro.observability.schema``)."""
+        return {
+            "session": {
+                "game_id": self.game_id,
+                "design": self.design,
+                "device": self.device_name,
+                "n_frames": len(self.records),
+                "gop_size": self.gop_size,
+            },
+            "frames": [t.to_dict() for t in self.frame_traces()],
+            "metrics": self.metrics.to_dict() if self.metrics is not None else {},
+        }
+
+    def export_trace_json(self, path: Path | str) -> Path:
+        """Write the per-frame trace export as JSON and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_trace_dict(), indent=2))
+        return path
+
     # -- GOP-weighted aggregates -----------------------------------------
     # Per-frame-type costs are deterministic given the platform model, so
     # metrics for the paper's 60-frame GOPs (1 reference + 59 dependents)
@@ -155,6 +251,55 @@ class SessionResult:
         return mean_bytes * 8 * fps / 1e6
 
 
+def _transport_stage(
+    server_frame: ServerFrame, link: NetworkLink, deadline_ms: float
+) -> tuple[bool, int]:
+    """Run the injected lossy transport and amend the network span.
+
+    Replaces the server's flat ``transmission_ms`` span with the measured
+    :meth:`NetworkLink.transmit` outcome (serialization + propagation +
+    retransmission rounds) and keeps the ``server_timings_ms`` view in
+    sync. Returns ``(dropped, n_retransmissions)``.
+    """
+    outcome = link.transmit(server_frame.modeled_size_bytes, deadline_ms=deadline_ms)
+    if server_frame.trace is not None:
+        server_frame.trace.amend_span(
+            "network",
+            modeled_ms=outcome.latency_ms,
+            n_packets=outcome.n_packets,
+            n_retransmissions=outcome.n_retransmissions,
+            dropped=outcome.dropped,
+            transport="lossy_link",
+        )
+    # server_timings_ms is a materialized view of the trace: keep it in
+    # sync so dict consumers (mtp fallback, reports) see the transport.
+    server_frame.server_timings_ms["network"] = outcome.latency_ms
+    return outcome.dropped, outcome.n_retransmissions
+
+
+def _apply_adaptive_side(
+    server: GameStreamServer,
+    client: StreamingClient,
+    adaptive: AdaptiveRoIController,
+    geometry: StreamGeometry,
+) -> None:
+    """Push the controller's (modeled-scale) window side into the pipeline.
+
+    The controller plans on the modeled geometry (the paper's 720p frame);
+    the server detects on the eval frame, so the side is rescaled by frame
+    height exactly like ``RoIWindowPlan.side_for_frame`` does. A client
+    with a pinned ``modeled_roi_side`` follows the controller directly.
+    """
+    eval_side = int(
+        round(adaptive.side * geometry.eval_lr_height / geometry.modeled_lr_height)
+    )
+    eval_side = max(2, min(eval_side, geometry.eval_lr_height))
+    if server.detector is not None:
+        server.set_roi_side(eval_side)
+    if getattr(client, "modeled_roi_side", None) is not None:
+        client.modeled_roi_side = adaptive.side
+
+
 def run_session(
     server: GameStreamServer,
     client: StreamingClient,
@@ -163,6 +308,9 @@ def run_session(
     with_lpips: bool = False,
     lpips_stride: int = 1,
     hr_reference_fn: Optional[Callable[[int], np.ndarray]] = None,
+    link: Optional[NetworkLink] = None,
+    link_deadline_ms: float = float("inf"),
+    adaptive: Optional[AdaptiveRoIController] = None,
 ) -> SessionResult:
     """Stream ``n_frames`` through ``server`` -> ``client`` and aggregate.
 
@@ -172,22 +320,43 @@ def run_session(
     ``lpips_stride`` scores LPIPS on every k-th frame only (it is the
     most expensive metric); ``hr_reference_fn`` overrides the ground-truth
     source (used to share renders across designs).
+
+    ``link`` injects a lossy :class:`NetworkLink` transport stage in place
+    of the flat bandwidth model (frames missing ``link_deadline_ms`` are
+    flagged dropped); ``adaptive`` closes the RoI-sizing loop from
+    measured upscale spans. Both default off, keeping the paper's static
+    configuration numerically identical to the pre-staged pipeline.
     """
     if n_frames < 1:
         raise ValueError(f"n_frames must be >= 1, got {n_frames}")
     if lpips_stride < 1:
         raise ValueError(f"lpips_stride must be >= 1, got {lpips_stride}")
     client.reset()
+    metrics = MetricsRegistry()
     result = SessionResult(
         game_id=server.game.game_id,
         design=client.design,
         device_name=client.device.name,
         geometry=server.geometry,
         gop_size=server.gop_size,
+        metrics=metrics,
     )
     for _ in range(n_frames):
+        if adaptive is not None:
+            _apply_adaptive_side(server, client, adaptive, server.geometry)
+
         server_frame: ServerFrame = server.next_frame()
+
+        dropped, retransmissions = False, 0
+        if link is not None:
+            dropped, retransmissions = _transport_stage(
+                server_frame, link, link_deadline_ms
+            )
+
         client_result = client.process(server_frame)
+
+        if adaptive is not None:
+            adaptive.observe(client_result.upscale_ms)
 
         psnr_db = lpips_val = None
         if evaluate_quality:
@@ -199,16 +368,29 @@ def run_session(
             if with_lpips and server_frame.index % lpips_stride == 0:
                 lpips_val = lpips_metric(reference, client_result.hr_frame)
 
+        trace = None
+        if server_frame.trace is not None and client_result.trace is not None:
+            trace = server_frame.trace.extend(client_result.trace)
+            observe_frame_trace(metrics, trace)
+
+        energy = (
+            energy_from_trace(client.device, trace)
+            if trace is not None
+            else energy_of_frame(client.device, client_result)
+        )
         result.records.append(
             FrameRecord(
                 index=server_frame.index,
                 frame_type=client_result.frame_type,
                 upscale_ms=client_result.upscale_ms,
                 mtp=mtp_from_frame(server_frame, client_result),
-                energy=energy_of_frame(client.device, client_result),
+                energy=energy,
                 modeled_size_bytes=server_frame.modeled_size_bytes,
                 psnr_db=psnr_db,
                 lpips=lpips_val,
+                dropped=dropped,
+                network_retransmissions=retransmissions,
+                trace=trace,
             )
         )
     return result

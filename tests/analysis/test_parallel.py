@@ -15,7 +15,7 @@ def _stub_cached_session(kind, **kwargs):
     through the cache with the exact same (name, config) key scheme."""
     return load_or_build(
         f"session-{kind}",
-        {"kind": kind, **kwargs},
+        parallel.session_cache_key(kind, kwargs),
         lambda: {"kind": kind, "kwargs": dict(sorted(kwargs.items())), "pid_free": True},
         subdir="sessions",
     )
@@ -73,7 +73,7 @@ class TestRunSessionMatrix:
         kind, kwargs = TASKS[0]
         _stub_cached_session(kind, **kwargs)  # pre-seed one artifact
         before = artifact_path(
-            f"session-{kind}", {"kind": kind, **kwargs}, subdir="sessions"
+            f"session-{kind}", parallel.session_cache_key(kind, kwargs), subdir="sessions"
         ).stat().st_mtime_ns
 
         built = []
@@ -84,7 +84,7 @@ class TestRunSessionMatrix:
         assert TASKS[0] not in built
         assert sorted(map(str, built)) == sorted(map(str, TASKS[1:]))
         after = artifact_path(
-            f"session-{kind}", {"kind": kind, **kwargs}, subdir="sessions"
+            f"session-{kind}", parallel.session_cache_key(kind, kwargs), subdir="sessions"
         ).stat().st_mtime_ns
         assert after == before  # cached artifact untouched
 

@@ -1,0 +1,79 @@
+"""Trace-consuming analysis builders (repro.analysis.traces)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.traces import (
+    network_health,
+    trace_energy_table,
+    trace_mtp_table,
+    wall_clock_profile,
+)
+from repro.platform.device import get_device
+from repro.render.games import build_game
+from repro.streaming import (
+    BilinearClient,
+    GameStreamServer,
+    SessionResult,
+    StreamGeometry,
+    run_session,
+)
+
+
+@pytest.fixture(scope="module")
+def session():
+    geometry = StreamGeometry(eval_lr_height=64, eval_lr_width=112, lr_source="native")
+    server = GameStreamServer(build_game("G3"), geometry, roi_side=None, gop_size=3)
+    client = BilinearClient(get_device("samsung_tab_s8"))
+    return run_session(server, client, n_frames=3)
+
+
+def test_mtp_table_matches_record_breakdowns(session):
+    rows = {r["stage"]: r for r in trace_mtp_table(session)}
+    mean_mtp = session.mean_mtp()
+    for stage, value in mean_mtp.stages_ms.items():
+        assert rows[stage]["mean_ms"] == pytest.approx(value, abs=1e-12)
+    assert rows["total"]["mean_ms"] == pytest.approx(mean_mtp.total_ms, abs=1e-9)
+    assert rows["total"]["max_frame"] in range(3)
+
+
+def test_energy_table_splits_categories_into_components(session):
+    rows = trace_energy_table(session)
+    by_category = {}
+    for row in rows:
+        by_category.setdefault(row["category"], 0.0)
+        by_category[row["category"]] += row["mean_mj_per_frame"]
+        assert row["mean_mj_per_frame"] > 0.0
+    energy = session.mean_energy()
+    assert by_category["decode"] == pytest.approx(energy.decode, abs=1e-9)
+    assert by_category["upscale"] == pytest.approx(energy.upscale, abs=1e-9)
+    assert by_category["network"] == pytest.approx(energy.network, abs=1e-9)
+
+
+def test_wall_clock_profile_covers_all_stages(session):
+    rows = wall_clock_profile(session)
+    names = {r["stage"] for r in rows}
+    assert {"render", "encode", "decode", "upscale"} <= names
+    assert sum(r["share_pct"] for r in rows) == pytest.approx(100.0)
+
+
+def test_network_health_on_flat_link(session):
+    health = network_health(session)
+    assert health["frames"] == 3
+    assert health["drop_rate"] == 0.0
+    assert health["total_retransmissions"] == 0
+    assert health["network_ms_p95"] >= health["network_ms_p50"] > 0.0
+
+
+def test_builders_reject_traceless_sessions():
+    empty = SessionResult(
+        game_id="G3",
+        design="bilinear",
+        device_name="samsung_tab_s8",
+        geometry=StreamGeometry(),
+        gop_size=1,
+    )
+    for builder in (trace_mtp_table, trace_energy_table, wall_clock_profile):
+        with pytest.raises(ValueError, match="no frame traces"):
+            builder(empty)

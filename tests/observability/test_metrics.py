@@ -1,0 +1,111 @@
+"""Units for the metrics registry, histograms, and trace feeding."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+    observe_frame_trace,
+)
+from repro.streaming.pipeline import FrameTrace
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("frames")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("frames").inc(-1)
+
+
+class TestHistogram:
+    def test_streaming_stats(self):
+        h = Histogram("lat", bounds=[1.0, 10.0, 100.0])
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 555.5
+        assert h.min == 0.5
+        assert h.max == 500.0
+        assert h.counts == [1, 1, 1, 1]  # last is the overflow bucket
+
+    def test_quantile_is_conservative_bucket_bound(self):
+        h = Histogram("lat", bounds=[1.0, 10.0, 100.0])
+        for v in (0.5, 0.6, 0.7, 50.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0  # p50 inside the first bucket
+        assert h.quantile(1.0) == 100.0
+        assert Histogram("empty", bounds=[1.0]).quantile(0.5) == 0.0
+
+    def test_overflow_quantile_uses_observed_max(self):
+        h = Histogram("lat", bounds=[1.0])
+        h.observe(123.0)
+        assert h.quantile(0.99) == 123.0
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=[1.0, 1.0])
+
+    def test_default_buckets_are_log_spaced(self):
+        buckets = default_latency_buckets()
+        assert buckets[0] == 0.01
+        assert all(b2 / b1 == 2.0 for b1, b2 in zip(buckets, buckets[1:]))
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("b") is reg.histogram("b")
+
+    def test_cross_type_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+        reg.histogram("y")
+        with pytest.raises(ValueError):
+            reg.counter("y")
+
+    def test_export_json_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("frames_total").inc(2)
+        reg.histogram("stage_ms/decode").observe(3.0)
+        path = reg.export_json(tmp_path / "metrics.json")
+        data = json.loads(path.read_text())
+        assert data["frames_total"]["value"] == 2
+        assert data["stage_ms/decode"]["count"] == 1
+
+
+class TestObserveFrameTrace:
+    def _trace(self, dropped=False, retx=0):
+        trace = FrameTrace(index=0, frame_type="P")
+        trace.add_span("network", 12.0, n_retransmissions=retx, dropped=dropped)
+        trace.add_span("decode", 3.0)
+        return trace
+
+    def test_feeds_stage_histograms_and_counters(self):
+        reg = MetricsRegistry()
+        observe_frame_trace(reg, self._trace())
+        observe_frame_trace(reg, self._trace())
+        assert reg.counter("frames_total").value == 2
+        assert reg.histogram("stage_ms/network").count == 2
+        assert reg.histogram("stage_ms/network").mean == 12.0
+        assert reg.histogram("frame_total_ms").mean == 15.0
+
+    def test_transport_outcomes_surface_as_counters(self):
+        reg = MetricsRegistry()
+        observe_frame_trace(reg, self._trace(dropped=True, retx=3))
+        observe_frame_trace(reg, self._trace())
+        assert reg.counter("frames_dropped").value == 1
+        assert reg.counter("network_retransmissions").value == 3

@@ -1,0 +1,165 @@
+"""Units for the stage/trace primitives in repro.streaming.pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import (
+    FRAME_TRACE_SCHEMA,
+    SchemaError,
+    validate,
+)
+from repro.platform import latency as lat
+from repro.platform.energy import Component
+from repro.streaming.pipeline import (
+    CLIENT_STAGES,
+    FrameTrace,
+    SERVER_STAGES,
+    split_transmission,
+)
+
+
+class TestStageRecording:
+    def test_stage_records_span_with_wall_clock(self):
+        trace = FrameTrace(index=0)
+        with trace.stage("decode") as st:
+            st.modeled_ms = 3.5
+            st.add_energy(Component.HW_DECODER, 3.5)
+            st.meta(hardware=True)
+        span = trace.span("decode")
+        assert span.modeled_ms == 3.5
+        assert span.wall_ms >= 0.0
+        assert span.mtp
+        assert span.metadata == {"hardware": True}
+        assert [(a.component, a.ms) for a in span.energy] == [
+            (Component.HW_DECODER, 3.5)
+        ]
+
+    def test_stage_appends_span_on_exception(self):
+        trace = FrameTrace(index=0)
+        with pytest.raises(RuntimeError):
+            with trace.stage("render") as st:
+                st.modeled_ms = 1.0
+                raise RuntimeError("boom")
+        assert trace.has_span("render")
+
+    def test_negative_modeled_ms_rejected(self):
+        trace = FrameTrace(index=0)
+        with pytest.raises(ValueError):
+            with trace.stage("render") as st:
+                st.modeled_ms = -1.0
+
+    def test_unknown_energy_category_rejected(self):
+        trace = FrameTrace(index=0)
+        with trace.stage("decode") as st:
+            with pytest.raises(ValueError):
+                st.add_energy(Component.CPU, 1.0, category="display")
+
+
+class TestFrameTraceAccounting:
+    def _trace(self):
+        trace = FrameTrace(index=7, frame_type="P")
+        trace.add_span("network", 10.0, mtp=True)
+        trace.add_span("network", 0.5, mtp=False)  # client RX, energy only
+        trace.add_span("decode", 3.0)
+        trace.add_span("upscale", 8.0)
+        trace.add_span("display", 2.0)
+        return trace
+
+    def test_timings_view_sums_mtp_spans_only(self):
+        trace = self._trace()
+        assert trace.timings_ms(CLIENT_STAGES) == {
+            "decode": 3.0,
+            "upscale": 8.0,
+            "display": 2.0,
+        }
+        assert trace.stage_ms("network") == 10.0  # the mtp=False RX excluded
+        assert trace.total_modeled_ms == 23.0
+
+    def test_duplicate_mtp_spans_sum(self):
+        trace = FrameTrace(index=0)
+        trace.add_span("upscale", 2.0)
+        trace.add_span("upscale", 3.0)
+        assert trace.stage_ms("upscale") == 5.0
+
+    def test_absent_stage_is_zero(self):
+        trace = FrameTrace(index=0)
+        assert trace.timings_ms(SERVER_STAGES)["roi_detect"] == 0.0
+
+    def test_energy_category_redirection(self):
+        trace = FrameTrace(index=0)
+        trace.add_span("upscale", 5.0)
+        trace.span("upscale").add_energy(Component.CPU, 4.0)
+        # NEMO-style: warp runs in upscale but is charged to decode.
+        trace.span("upscale").add_energy(Component.RECON_MEMORY, 1.0, category="decode")
+        stages = trace.energy_stages()
+        assert stages["upscale"] == [(Component.CPU, 4.0)]
+        assert stages["decode"] == [(Component.RECON_MEMORY, 1.0)]
+
+    def test_category_named_span_contributes_empty_key(self):
+        trace = FrameTrace(index=0)
+        trace.add_span("upscale", 0.0)  # idle upscaler, no attributions
+        assert trace.energy_stages() == {"upscale": []}
+
+    def test_amend_span_replaces_cost_and_energy(self):
+        trace = self._trace()
+        trace.amend_span(
+            "decode",
+            modeled_ms=9.0,
+            energy=[(Component.HW_DECODER, 6.0), (Component.COMPOSITION, 3.0)],
+            augmented=True,
+        )
+        span = trace.span("decode")
+        assert span.modeled_ms == 9.0
+        assert len(span.energy) == 2
+        assert span.metadata["augmented"] is True
+
+    def test_amend_missing_span_raises(self):
+        with pytest.raises(KeyError):
+            FrameTrace(index=0).amend_span("network", modeled_ms=1.0)
+
+    def test_extend_merges_server_and_client(self):
+        server = FrameTrace(index=3)
+        server.add_span("network", 10.0)
+        client = FrameTrace(index=3, frame_type="I")
+        client.add_span("decode", 3.0)
+        merged = server.extend(client)
+        assert [s.name for s in merged.spans] == ["network", "decode"]
+        assert merged.frame_type == "I"
+        assert merged.total_modeled_ms == 13.0
+
+    def test_extend_rejects_index_mismatch(self):
+        with pytest.raises(ValueError):
+            FrameTrace(index=1).extend(FrameTrace(index=2))
+
+    def test_to_dict_validates_against_schema(self):
+        trace = self._trace()
+        trace.span("decode").add_energy(Component.HW_DECODER, 3.0)
+        validate(trace.to_dict(), FRAME_TRACE_SCHEMA)
+
+    def test_schema_rejects_malformed_span(self):
+        d = self._trace().to_dict()
+        del d["spans"][0]["modeled_ms"]
+        with pytest.raises(SchemaError):
+            validate(d, FRAME_TRACE_SCHEMA)
+
+
+class TestSplitTransmission:
+    def test_matches_legacy_float_expressions_exactly(self):
+        for n in (0, 1, 1400, 54321):
+            split = split_transmission(n)
+            assert split.total_ms == lat.transmission_ms(n)
+            assert split.propagation_ms == lat.transmission_ms(0)
+            # The seed client computed rx as the *difference* of the two
+            # totals; the split must preserve that exact expression.
+            assert split.serialization_ms == (
+                lat.transmission_ms(n) - lat.transmission_ms(0)
+            )
+
+    def test_serialization_grows_with_bytes(self):
+        assert (
+            split_transmission(100_000).serialization_ms
+            > split_transmission(10_000).serialization_ms
+            > split_transmission(0).serialization_ms
+            == 0.0
+        )

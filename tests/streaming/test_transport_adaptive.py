@@ -1,0 +1,174 @@
+"""End-to-end sessions with the lossy transport and the adaptive RoI loop.
+
+These exercise the two default-off extension hooks of
+:func:`repro.streaming.session.run_session`: a seeded lossy
+:class:`NetworkLink` replacing the flat bandwidth model, and an
+:class:`AdaptiveRoIController` closing the RoI-sizing loop from measured
+upscale spans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.roi_sizing import plan_roi_window
+from repro.network import NetworkLink
+from repro.platform.device import get_device
+from repro.render.games import build_game
+from repro.streaming import (
+    AdaptiveRoIController,
+    BilinearClient,
+    GameStreamSRClient,
+    GameStreamServer,
+    StreamGeometry,
+    run_session,
+)
+
+N_FRAMES = 6
+
+
+def _geometry():
+    return StreamGeometry(eval_lr_height=64, eval_lr_width=112, lr_source="native")
+
+
+def _server(roi_side, gop=N_FRAMES):
+    return GameStreamServer(build_game("G3"), _geometry(), roi_side=roi_side, gop_size=gop)
+
+
+class TestLossyLinkSession:
+    LINK_KW = dict(bandwidth_mbps=20.0, propagation_ms=8.0, loss_rate=0.3, seed=7)
+
+    def _run(self, deadline_ms=float("inf")):
+        device = get_device("samsung_tab_s8")
+        return run_session(
+            _server(None),
+            BilinearClient(device),
+            n_frames=N_FRAMES,
+            link=NetworkLink(**self.LINK_KW),
+            link_deadline_ms=deadline_ms,
+        )
+
+    def test_transmit_outcome_replays_into_network_span(self):
+        """The session's network spans must match a fresh identically-seeded
+        link replayed over the recorded frame sizes, byte for byte."""
+        result = self._run()
+        replay = NetworkLink(**self.LINK_KW)
+        total_retx = 0
+        for record in result.records:
+            expected = replay.transmit(record.modeled_size_bytes)
+            span = record.trace.span("network")
+            assert span.modeled_ms == expected.latency_ms
+            assert span.metadata["n_packets"] == expected.n_packets
+            assert span.metadata["n_retransmissions"] == expected.n_retransmissions
+            assert span.metadata["dropped"] == expected.dropped
+            assert span.metadata["transport"] == "lossy_link"
+            assert record.network_retransmissions == expected.n_retransmissions
+            # MTP must flow through the measured (not flat) latency.
+            assert record.mtp.stage("network") == expected.latency_ms
+            total_retx += expected.n_retransmissions
+        assert total_retx > 0  # 30 % loss over 6 frames: retx all but certain
+        assert result.total_retransmissions() == total_retx
+
+    def test_retransmissions_surface_in_metrics(self):
+        result = self._run()
+        assert (
+            result.metrics.counter("network_retransmissions").value
+            == result.total_retransmissions()
+        )
+
+    def test_deadline_drops_match_link_semantics(self):
+        """With a tight deadline, drop flags must equal ``latency > deadline``
+        and surface in drop_rate + the metrics counter."""
+        deadline = 15.0
+        result = self._run(deadline_ms=deadline)
+        replay = NetworkLink(**self.LINK_KW)
+        n_dropped = 0
+        for record in result.records:
+            expected = replay.transmit(record.modeled_size_bytes, deadline_ms=deadline)
+            assert record.dropped == expected.dropped
+            assert record.dropped == (expected.latency_ms > deadline)
+            n_dropped += int(expected.dropped)
+        assert 0 < n_dropped  # lossy 20 Mbps link misses a 15 ms deadline sometimes
+        assert result.drop_rate() == n_dropped / N_FRAMES
+        assert result.metrics.counter("frames_dropped").value == n_dropped
+
+    def test_lossless_link_equals_flat_model_plus_loss_hooks(self):
+        """loss_rate=0 at the calibrated bandwidth/propagation reproduces the
+        flat model's latency: the transport stage is then a pure no-op."""
+        from repro.platform import calibration as cal
+        from repro.platform import latency as lat
+
+        device = get_device("samsung_tab_s8")
+        link = NetworkLink(
+            bandwidth_mbps=cal.NETWORK_BANDWIDTH_MBPS,
+            propagation_ms=cal.NETWORK_PROPAGATION_MS,
+            loss_rate=0.0,
+        )
+        result = run_session(
+            _server(None), BilinearClient(device), n_frames=2, link=link
+        )
+        for record in result.records:
+            assert record.mtp.stage("network") == pytest.approx(
+                lat.transmission_ms(record.modeled_size_bytes), abs=1e-12
+            )
+            assert not record.dropped
+            assert record.network_retransmissions == 0
+
+
+class TestAdaptiveSession:
+    def test_controller_shrinks_roi_when_over_deadline(self):
+        """Pin an oversized RoI so upscale blows the 16.66 ms budget: the
+        controller must shrink the side on both server and client."""
+        device = get_device("samsung_tab_s8")
+        plan = plan_roi_window(device)
+        from repro.analysis.experiments import default_runner
+
+        initial = 700  # ~full-frame NPU SR on 720p: way over deadline
+        controller = AdaptiveRoIController(
+            initial_side=initial, min_side=plan.min_side, max_side=720
+        )
+        client = GameStreamSRClient(device, default_runner(), modeled_roi_side=initial)
+        server = _server(roi_side=64)
+        result = run_session(
+            server, client, n_frames=N_FRAMES, adaptive=controller
+        )
+
+        assert controller.side < initial
+        assert controller.miss_rate() > 0.0
+        # The side is pushed at frame start and observed at frame end, so
+        # the client tracks the controller with one frame of lag: it holds
+        # the side the controller had *before* the final observation.
+        assert client.modeled_roi_side < initial
+        # The server's detection window followed the same applied side
+        # (rescaled to the eval frame height, floored at 2).
+        expected_eval = max(2, min(round(client.modeled_roi_side * 64 / 720), 64))
+        assert server.roi_side == expected_eval
+        # Upscale latency must fall as the window shrinks.
+        assert result.records[-1].upscale_ms < result.records[0].upscale_ms
+
+    def test_controller_grows_back_under_budget(self):
+        device = get_device("samsung_tab_s8")
+        plan = plan_roi_window(device)
+        from repro.analysis.experiments import default_runner
+
+        controller = AdaptiveRoIController(
+            initial_side=plan.min_side, min_side=plan.min_side, max_side=720
+        )
+        client = GameStreamSRClient(
+            device, default_runner(), modeled_roi_side=plan.min_side
+        )
+        run_session(_server(roi_side=64), client, n_frames=4, adaptive=controller)
+        assert controller.side > plan.min_side  # additive growth with headroom
+
+    def test_default_session_never_touches_the_controller_hooks(self):
+        """Without adaptive=, a pinned client side stays pinned."""
+        device = get_device("samsung_tab_s8")
+        from repro.analysis.experiments import default_runner
+
+        plan = plan_roi_window(device)
+        client = GameStreamSRClient(device, default_runner(), modeled_roi_side=plan.side)
+        server = _server(roi_side=plan.side_for_frame(64))
+        before = server.roi_side
+        run_session(server, client, n_frames=2)
+        assert client.modeled_roi_side == plan.side
+        assert server.roi_side == before

@@ -73,3 +73,24 @@ class TestCLI:
         assert main(["stream", "G9", "--frames", "4", "--profile", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "gamestreamsr" in out and "nemo" in out
+
+    @pytest.mark.slow
+    def test_stream_trace_export(self, tmp_path, capsys, tiny_model):
+        import json
+
+        from repro.observability import validate_session_trace
+
+        code = main(
+            ["stream", "G9", "--frames", "4", "--profile", "tiny",
+             "--trace-json", str(tmp_path)]
+        )
+        assert code == 0
+        for design in ("gamestreamsr", "nemo"):
+            path = tmp_path / f"G9_{design}_trace.json"
+            assert path.exists()
+            data = json.loads(path.read_text())
+            validate_session_trace(data)
+            assert data["session"]["design"] == design
+            assert data["session"]["n_frames"] == 4
+            assert len(data["frames"]) == 4
+            assert data["metrics"]["frames_total"]["value"] == 4

@@ -19,6 +19,7 @@ SUBPACKAGES = (
     "repro.metrics",
     "repro.network",
     "repro.neural",
+    "repro.observability",
     "repro.platform",
     "repro.render",
     "repro.sr",
