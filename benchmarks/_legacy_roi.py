@@ -1,0 +1,300 @@
+"""Frozen pre-fast-path RoI server path (preprocess + Algorithm-1 search).
+
+This is the seed implementation of ``repro.core.depth_preprocess`` /
+``repro.core.roi_search`` as it stood before the fast RoI server path:
+four redundant depth validations per preprocess, a fresh center-weight
+matrix every frame, ``np.histogram``/``np.quantile`` through numpy's
+general dispatch, a Python per-layer masked-sum loop, and a full-frame
+summed-area table rebuilt for both the coarse and the fine search pass.
+
+It intentionally does NOT track the live core code — do not optimize
+this file. ``bench_roi.py`` measures the live path against it, and
+``tests/core/test_roi_fast_equivalence.py`` proves the outputs match.
+
+Documented deviations from the seed (the PR's three correctness fixes
+are applied here too, so baseline and fast path compute the same
+function — exactly how ``_legacy_codec`` carries the motion-epsilon
+fix):
+
+- ``_best_position`` ties on exact equality instead of ``>= best - 1e-9``;
+- ``layer_bounds`` bumps degenerate quantile bounds with ``np.nextafter``
+  instead of the magnitude-blind ``+ 1e-12``;
+- the Otsu fallback clamps its split strictly inside the histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DEFAULT_ROI_CONFIG, RoIConfig
+from repro.core.roi_search import RoIBox
+
+__all__ = [
+    "LegacyPreprocessResult",
+    "LegacyRoIDetector",
+    "legacy_preprocess_depth",
+    "legacy_search_roi",
+    "legacy_window_sums",
+]
+
+
+def _check_depth(depth: np.ndarray) -> np.ndarray:
+    depth = np.asarray(depth, dtype=np.float64)
+    if depth.ndim != 2:
+        raise ValueError(f"expected a 2-D depth map, got shape {depth.shape}")
+    if depth.size == 0:
+        raise ValueError("depth map is empty")
+    if depth.min() < -1e-9 or depth.max() > 1 + 1e-9:
+        raise ValueError("depth values must lie in [0, 1]")
+    return np.clip(depth, 0.0, 1.0)
+
+
+def legacy_nearness(depth: np.ndarray) -> np.ndarray:
+    return 1.0 - _check_depth(depth)
+
+
+def legacy_foreground_threshold(
+    depth: np.ndarray, config: RoIConfig = DEFAULT_ROI_CONFIG
+) -> float:
+    depth = _check_depth(depth)
+    finite = depth[depth < 1.0]
+    if finite.size == 0:
+        return 1.0
+    lo, hi = float(finite.min()), float(finite.max())
+    if hi - lo < 1e-9:
+        return hi
+    hist, edges = np.histogram(finite, bins=config.histogram_bins, range=(lo, hi))
+    kernel = np.ones(config.valley_smoothing) / config.valley_smoothing
+    smooth = np.convolve(hist.astype(np.float64), kernel, mode="same")
+    cumulative = np.cumsum(hist)
+
+    peak_seen = smooth[0]
+    for i in range(1, len(smooth) - 1):
+        peak_seen = max(peak_seen, smooth[i])
+        is_local_min = smooth[i] <= smooth[i - 1] and smooth[i] <= smooth[i + 1]
+        mass_before = cumulative[i]
+        mass_after = finite.size - cumulative[i]
+        if (
+            is_local_min
+            and mass_before > config.valley_min_mass * finite.size
+            and mass_after > config.valley_min_mass * finite.size
+            and smooth[i] < config.valley_dip_ratio * peak_seen
+        ):
+            return float(edges[i + 1])
+
+    probs = hist.astype(np.float64) / hist.sum()
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    omega = np.cumsum(probs)
+    mu = np.cumsum(probs * centers)
+    mu_total = mu[-1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sigma_b = (mu_total * omega - mu) ** 2 / (omega * (1.0 - omega))
+    sigma_b[~np.isfinite(sigma_b)] = -1.0
+    # (documented deviation: the same last-bin clamp as the live path)
+    split = min(int(np.argmax(sigma_b)), len(hist) - 2)
+    return float(edges[split + 1])
+
+
+def legacy_extract_foreground(
+    depth: np.ndarray, config: RoIConfig = DEFAULT_ROI_CONFIG
+) -> tuple[np.ndarray, float]:
+    depth = _check_depth(depth)
+    threshold = legacy_foreground_threshold(depth, config)
+    return depth <= threshold, threshold
+
+
+def legacy_center_weight_matrix(
+    height: int, width: int, config: RoIConfig = DEFAULT_ROI_CONFIG
+) -> np.ndarray:
+    if height < 1 or width < 1:
+        raise ValueError(f"invalid shape ({height}, {width})")
+    ys = np.arange(height, dtype=np.float64) - (height - 1) / 2.0
+    xs = np.arange(width, dtype=np.float64) - (width - 1) / 2.0
+    sigma = config.center_sigma_frac * np.hypot(height, width)
+    gauss = np.exp(-(ys[:, None] ** 2 + xs[None, :] ** 2) / (2.0 * sigma**2))
+    return config.center_weight * gauss
+
+
+def legacy_layer_bounds(
+    weighted: np.ndarray, n_layers: int, mode: str = "quantile"
+) -> np.ndarray:
+    values = np.asarray(weighted, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        raise ValueError("cannot layer an empty value set")
+    if mode == "range":
+        lo = float(values.min())
+        hi = float(values.max())
+        if hi - lo < 1e-12:
+            hi = max(lo + 1e-12, float(np.nextafter(lo, np.inf)))
+        return np.linspace(lo, hi, n_layers + 1)
+    if mode == "quantile":
+        bounds = np.quantile(values, np.linspace(0.0, 1.0, n_layers + 1))
+        # (documented deviation: nextafter bump, as in the live path)
+        for i in range(1, len(bounds)):
+            if bounds[i] <= bounds[i - 1]:
+                bounds[i] = np.nextafter(bounds[i - 1], np.inf)
+        return bounds
+    raise ValueError(f"unknown layer mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class LegacyPreprocessResult:
+    foreground_mask: np.ndarray
+    foreground_threshold: float
+    weight_matrix: np.ndarray
+    weighted: np.ndarray
+    layer_index: np.ndarray
+    selected_layer: int
+    processed: np.ndarray
+
+
+def legacy_preprocess_depth(
+    depth: np.ndarray, config: RoIConfig = DEFAULT_ROI_CONFIG
+) -> LegacyPreprocessResult:
+    depth = _check_depth(depth)
+    importance = legacy_nearness(depth)
+
+    mask, threshold = legacy_extract_foreground(depth, config)
+    weights = legacy_center_weight_matrix(*depth.shape, config=config)
+    weighted = np.where(mask, importance + weights, 0.0)
+
+    fg_values = weighted[mask]
+    if fg_values.size == 0:
+        weighted_all = importance + weights
+        return LegacyPreprocessResult(
+            foreground_mask=mask,
+            foreground_threshold=threshold,
+            weight_matrix=weights,
+            weighted=weighted_all,
+            layer_index=np.zeros(depth.shape, dtype=np.int64),
+            selected_layer=0,
+            processed=weighted_all,
+        )
+
+    bounds = legacy_layer_bounds(fg_values, config.n_layers, mode=config.layer_mode)
+    layer_index = np.full(depth.shape, -1, dtype=np.int64)
+    layer_index[mask] = np.clip(
+        np.searchsorted(bounds, weighted[mask], side="right") - 1,
+        0,
+        config.n_layers - 1,
+    )
+
+    sums = np.array(
+        [weighted[layer_index == layer].sum() for layer in range(config.n_layers)]
+    )
+    selected = int(np.argmax(sums))
+    processed = np.where(layer_index == selected, weighted, 0.0)
+
+    return LegacyPreprocessResult(
+        foreground_mask=mask,
+        foreground_threshold=threshold,
+        weight_matrix=weights,
+        weighted=weighted,
+        layer_index=layer_index,
+        selected_layer=selected,
+        processed=processed,
+    )
+
+
+def _legacy_integral_image(values: np.ndarray) -> np.ndarray:
+    sat = np.zeros((values.shape[0] + 1, values.shape[1] + 1))
+    np.cumsum(np.cumsum(values, axis=0), axis=1, out=sat[1:, 1:])
+    return sat
+
+
+def legacy_window_sums(
+    values: np.ndarray, win_h: int, win_w: int, ys: np.ndarray, xs: np.ndarray
+) -> np.ndarray:
+    # The seed behaviour under measurement: a fresh full-frame SAT per call.
+    sat = _legacy_integral_image(values)
+    y0 = ys[:, None]
+    x0 = xs[None, :]
+    y1 = y0 + win_h
+    x1 = x0 + win_w
+    return sat[y1, x1] - sat[y0, x1] - sat[y1, x0] + sat[y0, x0]
+
+
+def _best_position(sums, ys, xs, frame_center, win):
+    best = sums.max()
+    # (documented deviation: exact ties, as in the live path)
+    tie_rows, tie_cols = np.nonzero(sums == best)
+    cy, cx = frame_center
+    win_h, win_w = win
+    centers_y = ys[tie_rows] + win_h / 2.0
+    centers_x = xs[tie_cols] + win_w / 2.0
+    dist2 = (centers_y - cy) ** 2 + (centers_x - cx) ** 2
+    pick = int(np.argmin(dist2))
+    return int(ys[tie_rows[pick]]), int(xs[tie_cols[pick]])
+
+
+def _grid(start: int, stop: int, stride: int) -> np.ndarray:
+    start = max(start, 0)
+    stop = max(stop, start)
+    points = np.arange(start, stop + 1, stride)
+    if points[-1] != stop:
+        points = np.append(points, stop)
+    return points
+
+
+def legacy_search_roi(
+    processed: np.ndarray,
+    win_h: int,
+    win_w: int,
+    coarse_stride: int | None = None,
+    fine_stride: int = 2,
+    boundary: int | None = None,
+) -> RoIBox:
+    processed = np.asarray(processed, dtype=np.float64)
+    if processed.ndim != 2:
+        raise ValueError(f"expected 2-D map, got shape {processed.shape}")
+    height, width = processed.shape
+    if win_h > height or win_w > width:
+        raise ValueError(f"window {win_h}x{win_w} larger than map {height}x{width}")
+    if coarse_stride is None:
+        coarse_stride = max(max(win_h, win_w) // 2, 1)
+    if coarse_stride < 1 or fine_stride < 1:
+        raise ValueError("strides must be >= 1")
+    if fine_stride > coarse_stride:
+        raise ValueError(
+            f"fine stride ({fine_stride}) must not exceed coarse ({coarse_stride})"
+        )
+    if boundary is None:
+        boundary = coarse_stride
+
+    frame_center = ((height - 1) / 2.0, (width - 1) / 2.0)
+
+    ys = _grid(0, height - win_h, coarse_stride)
+    xs = _grid(0, width - win_w, coarse_stride)
+    sums = legacy_window_sums(processed, win_h, win_w, ys, xs)
+    coarse_y, coarse_x = _best_position(sums, ys, xs, frame_center, (win_h, win_w))
+
+    ys = _grid(coarse_y - boundary, min(coarse_y + boundary, height - win_h), fine_stride)
+    xs = _grid(coarse_x - boundary, min(coarse_x + boundary, width - win_w), fine_stride)
+    sums = legacy_window_sums(processed, win_h, win_w, ys, xs)
+    fine_y, fine_x = _best_position(sums, ys, xs, frame_center, (win_h, win_w))
+
+    return RoIBox(x=fine_x, y=fine_y, width=win_w, height=win_h)
+
+
+class LegacyRoIDetector:
+    """Seed detector: preprocess + full search, no temporal state."""
+
+    def __init__(self, window_side: int, config: RoIConfig = DEFAULT_ROI_CONFIG) -> None:
+        if window_side < 2:
+            raise ValueError(f"window_side must be >= 2, got {window_side}")
+        self.window_side = window_side
+        self.config = config
+
+    def detect(self, depth: np.ndarray) -> tuple[RoIBox, LegacyPreprocessResult]:
+        depth = np.asarray(depth, dtype=np.float64)
+        if depth.ndim != 2:
+            raise ValueError(f"expected 2-D depth buffer, got {depth.shape}")
+        height, width = depth.shape
+        side = min(self.window_side, height, width)
+        pre = legacy_preprocess_depth(depth, self.config)
+        box = legacy_search_roi(
+            pre.processed, win_h=side, win_w=side, fine_stride=self.config.fine_stride
+        )
+        return box.clamped(height, width), pre

@@ -6,6 +6,7 @@
 # The full benchmarks (with speedup acceptance criteria) are separate,
 # longer runs:  PYTHONPATH=src python benchmarks/bench_hotpath.py
 #               PYTHONPATH=src python benchmarks/bench_codec.py
+#               PYTHONPATH=src python benchmarks/bench_roi.py
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,3 +32,7 @@ echo "ok: wrote BENCH_hotpath.smoke.json"
 echo "== codec bench (smoke) =="
 python benchmarks/bench_codec.py --smoke >/dev/null
 echo "ok: wrote BENCH_codec.smoke.json"
+
+echo "== roi bench (smoke) =="
+python benchmarks/bench_roi.py --smoke >/dev/null
+echo "ok: wrote BENCH_roi.smoke.json"

@@ -9,6 +9,7 @@ RoI-assisted hybrid upscaler (Fig. 9).
 from .config import DEFAULT_ROI_CONFIG, RoIConfig
 from .depth_preprocess import (
     DepthPreprocessResult,
+    DepthPreprocessStats,
     center_weight_matrix,
     extract_foreground,
     foreground_threshold,
@@ -17,7 +18,14 @@ from .depth_preprocess import (
     preprocess_depth,
 )
 from .detector import RoIDetection, RoIDetector, center_roi
-from .roi_search import RoIBox, search_roi, window_sums
+from .roi_search import (
+    RoIBox,
+    RoISearchResult,
+    search_roi,
+    search_roi_scored,
+    warm_search_roi,
+    window_sums,
+)
 from .roi_sizing import (
     RoIWindowPlan,
     foveal_diameter_cm,
@@ -30,11 +38,13 @@ from .upscaler import HybridUpscaleResult, RoIAssistedUpscaler
 __all__ = [
     "DEFAULT_ROI_CONFIG",
     "DepthPreprocessResult",
+    "DepthPreprocessStats",
     "HybridUpscaleResult",
     "RoIBox",
     "RoIConfig",
     "RoIDetection",
     "RoIDetector",
+    "RoISearchResult",
     "RoIWindowPlan",
     "RoIAssistedUpscaler",
     "center_roi",
@@ -49,5 +59,7 @@ __all__ = [
     "plan_roi_window",
     "preprocess_depth",
     "search_roi",
+    "search_roi_scored",
+    "warm_search_roi",
     "window_sums",
 ]

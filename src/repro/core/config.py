@@ -41,6 +41,21 @@ class RoIConfig:
         ``max(h, w) / 2`` per the paper).
     upscale_factor:
         SR factor (paper fixes 2 for quality reasons, Sec. II-C).
+    warm_start:
+        Opt-in temporal warm start: :class:`~repro.core.detector.
+        RoIDetector` first searches a local boundary around the previous
+        frame's box and accepts the local winner when its window sum stays
+        within ``warm_start_fraction`` of the running full-search
+        reference; otherwise it falls back to the full Algorithm-1 search.
+        Off by default — results can then differ from per-frame full
+        search whenever the local winner passes the acceptance bar.
+    warm_start_fraction:
+        Acceptance bar for the warm-start local winner, as a fraction of
+        the best full-search window sum seen so far (in (0, 1]).
+    warm_start_boundary:
+        Half-width of the warm-start local search around the previous
+        box's anchor; None uses the Algorithm-1 coarse stride
+        (``max(h, w) // 2``).
     """
 
     histogram_bins: int = 64
@@ -53,6 +68,9 @@ class RoIConfig:
     layer_mode: str = "quantile"
     fine_stride: int = 2
     upscale_factor: int = 2
+    warm_start: bool = False
+    warm_start_fraction: float = 0.85
+    warm_start_boundary: int | None = None
 
     def __post_init__(self) -> None:
         if self.histogram_bins < 4:
@@ -77,6 +95,14 @@ class RoIConfig:
             raise ValueError(f"fine_stride must be >= 1, got {self.fine_stride}")
         if self.upscale_factor < 1:
             raise ValueError(f"upscale_factor must be >= 1, got {self.upscale_factor}")
+        if not 0 < self.warm_start_fraction <= 1:
+            raise ValueError(
+                f"warm_start_fraction out of range: {self.warm_start_fraction}"
+            )
+        if self.warm_start_boundary is not None and self.warm_start_boundary < 1:
+            raise ValueError(
+                f"warm_start_boundary must be >= 1, got {self.warm_start_boundary}"
+            )
 
 
 DEFAULT_ROI_CONFIG = RoIConfig()

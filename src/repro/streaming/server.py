@@ -51,7 +51,10 @@ class GameStreamServer:
         geometry; pass None to disable RoI detection (SOTA mode).
         ``motion_method`` selects the encoder's block-matching search
         (``"full"`` exact search by default; ``"diamond"`` for the fast
-        approximate mode)."""
+        approximate mode). Pass ``roi_config`` with ``warm_start=True``
+        to enable the detector's temporal warm start; each ``roi_detect``
+        span then records which path ran (``search_mode``) and the
+        winning window sum (``score``)."""
         self.game = game
         self.geometry = geometry
         self.fps = fps
@@ -144,9 +147,17 @@ class GameStreamServer:
         with trace.stage("roi_detect") as st:
             roi = None
             if self.detector is not None:
-                roi = self.detector.detect(rendered.depth).box
+                detection = self.detector.detect(rendered.depth)
+                roi = detection.box
                 st.modeled_ms = lat.server_roi_detect_ms()
-                st.meta(x=roi.x, y=roi.y, width=roi.width, height=roi.height)
+                st.meta(
+                    x=roi.x,
+                    y=roi.y,
+                    width=roi.width,
+                    height=roi.height,
+                    search_mode=detection.search_mode,
+                    score=round(detection.score, 3),
+                )
             else:
                 st.meta(enabled=False)
 

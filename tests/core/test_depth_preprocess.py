@@ -63,6 +63,25 @@ class TestForegroundExtraction:
         mask = depth <= threshold
         assert 0.05 < mask.mean() < 0.95
 
+    def test_otsu_far_end_regression(self):
+        """When between-class variance peaks in the last histogram bin,
+        an unclamped argmax returns the histogram's upper edge itself —
+        classifying every finite pixel as foreground and turning the
+        masking step into a no-op. The split must stay strictly inside
+        the histogram. (Three micro-clusters: cumulative float error
+        keeps the valley walk from firing, and the mass sits so close to
+        the near end that sigma_b is maximized at the far edge.)"""
+        depth = np.concatenate(
+            [
+                np.full(47, 0.5),
+                np.full(2, 0.5 + 1e-9),
+                np.full(2, 0.5 + 2e-9),
+            ]
+        ).reshape(3, 17)
+        threshold = foreground_threshold(depth)
+        assert threshold < depth.max()
+        assert not (depth <= threshold).all()
+
 
 class TestCenterWeights:
     def test_peak_at_center(self):
@@ -83,6 +102,23 @@ class TestCenterWeights:
         with pytest.raises(ValueError):
             center_weight_matrix(0, 10)
 
+    def test_cached_and_read_only(self):
+        """Repeat calls with the same (shape, config) hit the memo and the
+        shared array must be immutable so one caller can't poison it."""
+        a = center_weight_matrix(24, 36)
+        b = center_weight_matrix(24, 36)
+        assert a is b
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0, 0] = 9.0
+
+    def test_cache_distinguishes_config(self):
+        # Odd dims so a pixel sits exactly at the centre (max == amplitude).
+        default = center_weight_matrix(17, 17)
+        custom = center_weight_matrix(17, 17, RoIConfig(center_weight=0.9))
+        assert custom.max() == pytest.approx(0.9)
+        assert default.max() != pytest.approx(0.9)
+
 
 class TestLayering:
     def test_range_mode_even_spacing(self):
@@ -98,6 +134,15 @@ class TestLayering:
     def test_bounds_strictly_increasing(self):
         bounds = layer_bounds(np.full(10, 0.5), 4, mode="quantile")
         assert (np.diff(bounds) > 0).all()
+
+    def test_degenerate_bounds_large_magnitude_regression(self):
+        """A fixed +1e-12 bump vanishes under float spacing at large
+        magnitudes (1e6 + 1e-12 == 1e6), leaving duplicate bin edges that
+        make every layer after the first empty. The separation must scale
+        with the value (np.nextafter)."""
+        for mode in ("quantile", "range"):
+            bounds = layer_bounds(np.full(10, 1e6), 4, mode=mode)
+            assert (np.diff(bounds) > 0).all(), mode
 
     def test_unknown_mode(self):
         with pytest.raises(ValueError):

@@ -7,7 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.roi_search import RoIBox, search_roi, window_sums
+from repro.core.roi_search import (
+    RoIBox,
+    search_roi,
+    search_roi_scored,
+    warm_search_roi,
+    window_sums,
+)
 
 
 def brute_force_best(values, win_h, win_w):
@@ -20,6 +26,21 @@ def brute_force_best(values, win_h, win_w):
             if s > best + 1e-12:
                 best, best_pos = s, (y, x)
     return best, best_pos
+
+
+def dense_oracle_box(values, win_h, win_w):
+    """Dense SAT argmax with the same exact-tie center-bias rule: the
+    ground truth a stride-1 coarse+fine search must reproduce exactly."""
+    h, w = values.shape
+    ys = np.arange(h - win_h + 1)
+    xs = np.arange(w - win_w + 1)
+    sums = window_sums(values, win_h, win_w, ys, xs)
+    best = sums.max()
+    tie_r, tie_c = np.nonzero(sums == best)
+    cy, cx = (h - 1) / 2.0, (w - 1) / 2.0
+    d2 = (tie_r + win_h / 2.0 - cy) ** 2 + (tie_c + win_w / 2.0 - cx) ** 2
+    pick = int(np.argmin(d2))
+    return RoIBox(x=int(tie_c[pick]), y=int(tie_r[pick]), width=win_w, height=win_h)
 
 
 class TestWindowSums:
@@ -90,6 +111,78 @@ class TestSearch:
             search_roi(values, 4, 4, coarse_stride=2, fine_stride=3)
         with pytest.raises(ValueError, match="2-D"):
             search_roi(np.ones((4, 4, 3)), 2, 2)
+
+    def test_exact_tie_regression(self):
+        """A window whose sum falls within 1e-9 of the max but below it
+        must NOT enter the tie set. The seed's absolute epsilon let this
+        center-closer near-miss window steal the win from the true
+        maximum at the corner."""
+        values = np.zeros((8, 8))
+        values[0:2, 0:2] = 0.25  # corner window: sum exactly 1.0
+        values[3:5, 3:5] = 0.25
+        values[4, 4] = 0.25 - 1e-10  # center window: sum 1.0 - 1e-10
+        box = search_roi(values, 2, 2, coarse_stride=1, fine_stride=1)
+        assert (box.y, box.x) == (0, 0)
+
+    def test_uniform_map_still_ties_to_center(self):
+        """Exact ties (uniform map) must still break toward the centre —
+        the epsilon fix may only shrink the tie set, never the rule."""
+        values = np.full((12, 16), 0.125)
+        box = search_roi(values, 4, 4, coarse_stride=1, fine_stride=1)
+        # Both (3, 5) and (4, 6) anchors are equidistant from the centre;
+        # scan order resolves to the first.
+        assert (box.y, box.x) == (3, 5)
+
+
+class TestDenseOracle:
+    """Stride-1 coarse+fine must equal the dense argmax *exactly* —
+    including tie-breaking — with and without the bbox fast path."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_maps(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.random((30, 40)) ** 3
+        oracle = dense_oracle_box(values, 8, 8)
+        assert search_roi(values, 8, 8, coarse_stride=1, fine_stride=1) == oracle
+        rows, cols = np.nonzero(values > 0.5)
+        if rows.size:
+            bbox = (rows.min(), rows.max(), cols.min(), cols.max())
+            sparse = np.where(values > 0.5, values, 0.0)
+            assert (
+                search_roi_scored(
+                    sparse, 8, 8, coarse_stride=1, fine_stride=1, bbox=bbox
+                ).box
+                == dense_oracle_box(sparse, 8, 8)
+            )
+
+    def test_all_background(self):
+        values = np.zeros((20, 24))
+        oracle = dense_oracle_box(values, 6, 6)
+        assert search_roi(values, 6, 6, coarse_stride=1, fine_stride=1) == oracle
+
+    def test_single_plane(self):
+        values = np.full((20, 24), 0.7)
+        oracle = dense_oracle_box(values, 6, 6)
+        assert search_roi(values, 6, 6, coarse_stride=1, fine_stride=1) == oracle
+
+    def test_window_equals_frame(self):
+        values = np.random.default_rng(3).random((16, 16))
+        assert search_roi(values, 16, 16) == RoIBox(0, 0, 16, 16)
+        assert warm_search_roi(
+            values, 16, 16, prev=RoIBox(0, 0, 16, 16)
+        ).box == RoIBox(0, 0, 16, 16)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_warm_with_dense_boundary_matches_oracle(self, seed):
+        """A warm search whose boundary covers the whole valid range at
+        stride 1 sees every window, so it must also match the oracle."""
+        rng = np.random.default_rng(100 + seed)
+        values = rng.random((24, 30))
+        oracle = dense_oracle_box(values, 6, 6)
+        local = warm_search_roi(
+            values, 6, 6, prev=RoIBox(10, 8, 6, 6), fine_stride=1, boundary=30
+        )
+        assert local.box == oracle
 
 
 class TestRoIBox:
