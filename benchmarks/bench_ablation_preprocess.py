@@ -20,6 +20,9 @@ from conftest import emit_report
 
 W, H = 224, 128
 SIDE = 54
+# Float summation order differs between the default and ablation paths;
+# allow ties to within one accumulation ulp when comparing their means.
+_TIE_SLACK = 1e-9
 
 VARIANTS = {
     "quantile+center (default)": RoIConfig(),
@@ -49,7 +52,7 @@ def test_ablation_preprocessing_variants(benchmark):
 
     default = results["quantile+center (default)"]
     # The default must track the central subject better than both ablations.
-    assert default <= results["range layering (paper literal)"] + 1e-9
+    assert default <= results["range layering (paper literal)"] + _TIE_SLACK
     assert default < results["no center weighting"]
     assert default < 30.0  # lands near the centre in absolute terms
 

@@ -13,6 +13,10 @@ from repro.analysis.tables import format_paper_vs_measured, format_table
 
 from conftest import emit_report
 
+# Display+network energy is equal across designs by construction (Sec. V-B);
+# the two sums merely accumulate in different orders, so equality holds to ulp.
+_EQUAL_ENERGY_TOL = 1e-9
+
 
 def test_fig12_energy_breakdown(benchmark):
     sessions = performance_sessions("pixel_7_pro", game_ids=("G3",))
@@ -40,7 +44,7 @@ def test_fig12_energy_breakdown(benchmark):
             ("ours decode share", "6%", f"{ours.shares()['decode'] * 100:.0f}%"),
             ("ours upscale share", "85%", f"{ours.shares()['upscale'] * 100:.0f}%"),
             ("ours/SOTA upscaling energy", "slightly > 1", f"{ours.upscale / nemo.upscale:.2f}"),
-            ("display+network equal", "yes", abs(ours.display - nemo.display) < 1e-9),
+            ("display+network equal", "yes", abs(ours.display - nemo.display) < _EQUAL_ENERGY_TOL),
         ],
         title="Fig. 12 anchors",
     )

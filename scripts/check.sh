@@ -16,14 +16,17 @@ echo "== compile check =="
 python -m compileall -q src scripts benchmarks
 echo "ok: all sources byte-compile"
 
-echo "== import-cycle check =="
-python scripts/check_import_cycles.py
+echo "== static analysis (reprolint) =="
+# Import cycles, layering, dtype discipline, epsilon comparisons,
+# nondeterminism, and public-API drift in one pass. Fails on any finding
+# not in reprolint-baseline.json (grandfathered legacy benchmarks only).
+python -m repro.lint src tests scripts benchmarks
 
 echo "== tier-1 tests =="
 python -m pytest -q -m tier1
 
-echo "== session-pipeline smoke =="
-python scripts/pipeline_smoke.py
+echo "== session-pipeline smoke (REPRO_CONTRACTS=1) =="
+REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py
 
 echo "== hot-path bench (smoke) =="
 python benchmarks/bench_hotpath.py --smoke >/dev/null

@@ -16,9 +16,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 from pathlib import Path
+
+# Contracts must be on before any repro import: @shaped reads the flag at
+# decoration (module-import) time. The smoke run doubles as the CI proof
+# that a full session satisfies every seam contract.
+os.environ.setdefault("REPRO_CONTRACTS", "1")
 
 N_FRAMES = 5
 GOP = 4  # both reference and dependent frames inside 5 streamed frames

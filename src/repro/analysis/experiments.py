@@ -51,6 +51,11 @@ __all__ = [
     "roi_sizing_table",
     "bandwidth_comparison",
     "default_runner",
+    "PERF_FRAMES",
+    "QUALITY_FRAMES",
+    "QUALITY_GOP",
+    "STREAM_QUALITY",
+    "FactorPoint",
 ]
 
 ALL_GAME_IDS = [game_id for game_id, _, _ in GAME_TABLE]

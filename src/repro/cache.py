@@ -21,7 +21,7 @@ import pickle
 from pathlib import Path
 from typing import Any, Callable
 
-logger = logging.getLogger(__name__)
+_logger = logging.getLogger(__name__)
 
 __all__ = [
     "cache_dir",
@@ -76,7 +76,7 @@ def load_or_build(
         except (pickle.UnpicklingError, EOFError, AttributeError, OSError) as exc:
             # Truncated/corrupt artifact (e.g. an interrupted writer before
             # writes went through atomic os.replace): rebuild it.
-            logger.warning(
+            _logger.warning(
                 "corrupt cache artifact %s (%s: %s); rebuilding",
                 path,
                 type(exc).__name__,

@@ -20,6 +20,8 @@ import argparse
 import sys
 from pathlib import Path
 
+__all__ = ["build_parser", "main"]
+
 
 def _cmd_games(args: argparse.Namespace) -> int:
     from .analysis.tables import format_table

@@ -16,6 +16,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from ..contracts import shaped
 from .bitstream import BitReader
 from .blocks import block_grid_shape, merge_blocks
 from .color import upsample_chroma, ycbcr_to_rgb
@@ -60,6 +61,7 @@ def _decode_motion(reader: BitReader, nby: int, nbx: int) -> np.ndarray:
     return unsigned_to_signed_array(codes).reshape(nby, nbx, 2)
 
 
+@shaped(y="H W:f64", cb="SH SW:f64", cr="SH SW:f64")
 def _planes_to_rgb(y: np.ndarray, cb: np.ndarray, cr: np.ndarray) -> np.ndarray:
     h, w = y.shape
     return ycbcr_to_rgb(

@@ -18,6 +18,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from ..contracts import shaped
 from .bitstream import BitWriter
 from .blocks import block_grid_shape, split_blocks
 from .color import rgb_to_ycbcr, subsample_chroma, upsample_chroma, ycbcr_to_rgb
@@ -130,9 +131,10 @@ class VideoEncoder:
     def next_is_reference(self) -> bool:
         return self._frame_index % self.gop_size == 0
 
+    @shaped(rgb="H W 3:n")
     def encode_frame(self, rgb: np.ndarray) -> EncodedFrame:
         """Encode the next frame of the stream."""
-        rgb = np.asarray(rgb, dtype=np.float64)
+        rgb = np.asarray(rgb, dtype=np.float64)  # reprolint: disable=dtype-discipline -- frozen f64 codec arithmetic
         if rgb.ndim != 3 or rgb.shape[2] != 3:
             raise ValueError(f"expected (H, W, 3) RGB frame, got {rgb.shape}")
         h, w = rgb.shape[:2]

@@ -97,7 +97,7 @@ def _exp_golomb_codes(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return codes, np.zeros(0, dtype=np.int64)
     if int(codes.max()) < (1 << 53):
         # frexp's exponent is the exact bit length for ints below 2**53.
-        _, exp = np.frexp(codes.astype(np.float64))
+        _, exp = np.frexp(codes.astype(np.float64))  # reprolint: disable=dtype-discipline -- exact: codes < 2**53
         n_bits = exp.astype(np.int64)
     else:
         n_bits = np.array([int(c).bit_length() for c in codes], dtype=np.int64)
@@ -170,7 +170,7 @@ def encode_blocks(blocks: np.ndarray, writer: BitWriter) -> None:
     first = np.concatenate(([0], np.cumsum(nnz)[:-1]))
     token_start = np.concatenate(([0], np.cumsum(2 * nnz + 2)[:-1]))
     values = np.zeros(2 * nz.size + 2 * n_blocks, dtype=np.int64)
-    idx = token_start[block_id] + 2 * (np.arange(nz.size) - first[block_id])
+    idx = token_start[block_id] + 2 * (np.arange(nz.size, dtype=np.int64) - first[block_id])
     values[idx] = runs
     values[idx + 1] = level_codes
     last_pos = np.full(n_blocks, -1, dtype=np.int64)

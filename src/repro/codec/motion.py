@@ -44,8 +44,8 @@ _SEA_SLACK = 1e-3
 def _shift_frame(frame: np.ndarray, dy: int, dx: int) -> np.ndarray:
     """Shift with edge replication: result[y, x] = frame[y + dy, x + dx]."""
     h, w = frame.shape
-    ys = np.clip(np.arange(h) + dy, 0, h - 1)
-    xs = np.clip(np.arange(w) + dx, 0, w - 1)
+    ys = np.clip(np.arange(h, dtype=np.int64) + dy, 0, h - 1)
+    xs = np.clip(np.arange(w, dtype=np.int64) + dx, 0, w - 1)
     return frame[np.ix_(ys, xs)]
 
 
@@ -67,7 +67,7 @@ def _search_offsets(search_radius: int) -> tuple[tuple[int, int], ...]:
 
 def _integral_image(plane: np.ndarray) -> np.ndarray:
     """Summed-area table with a zero border row/column."""
-    ii = np.zeros((plane.shape[0] + 1, plane.shape[1] + 1))
+    ii = np.zeros((plane.shape[0] + 1, plane.shape[1] + 1), dtype=np.float64)
     np.cumsum(plane, axis=0, out=ii[1:, 1:])
     np.cumsum(ii[1:, 1:], axis=1, out=ii[1:, 1:])
     return ii
@@ -92,10 +92,10 @@ def _estimate_full(
     cur_sub = cur.reshape(nsy, sub, nsx, sub).sum(axis=(1, 3))
 
     cur_blocks = cur.reshape(nby, block, nbx, block).transpose(0, 2, 1, 3).copy()
-    best_sad = np.full((nby, nbx), np.inf)
+    best_sad = np.full((nby, nbx), np.inf, dtype=np.float64)
     best_mv = np.zeros((nby, nbx, 2), dtype=np.int64)
-    taps = np.arange(block)
-    lb_buf = np.empty((nsy, nsx))
+    taps = np.arange(block, dtype=np.int64)
+    lb_buf = np.empty((nsy, nsx), dtype=np.float64)
 
     for dy, dx in _search_offsets(radius):
         y0 = radius + dy
@@ -140,7 +140,7 @@ def _estimate_diamond(
     nby, nbx = ph // block, pw // block
     rp = np.pad(ref, radius, mode="edge") if radius else ref
     cur_blocks = cur.reshape(nby, block, nbx, block).transpose(0, 2, 1, 3).copy()
-    taps = np.arange(block)
+    taps = np.arange(block, dtype=np.int64)
 
     def sad_at(my: np.ndarray, mx: np.ndarray, rows, cols) -> np.ndarray:
         iy = (rows * block + my + radius)[:, None] + taps
@@ -149,7 +149,7 @@ def _estimate_diamond(
         return np.abs(cur_blocks[rows, cols] - win).sum(axis=(1, 2))
 
     center = np.zeros((nby, nbx, 2), dtype=np.int64)
-    rows, cols = np.divmod(np.arange(nby * nbx), nbx)
+    rows, cols = np.divmod(np.arange(nby * nbx, dtype=np.int64), nbx)
     best = sad_at(center[rows, cols, 0], center[rows, cols, 1], rows, cols)
     best = best.reshape(nby, nbx)
 
@@ -209,8 +209,8 @@ def estimate_motion(
     ``"full"`` (exhaustive, exact, pruned) or ``"diamond"`` (fast,
     approximate).
     """
-    current = np.asarray(current, dtype=np.float64)
-    reference = np.asarray(reference, dtype=np.float64)
+    current = np.asarray(current, dtype=np.float64)  # reprolint: disable=dtype-discipline -- frozen f64 codec arithmetic
+    reference = np.asarray(reference, dtype=np.float64)  # reprolint: disable=dtype-discipline -- frozen f64 codec arithmetic
     if current.shape != reference.shape:
         raise ValueError(
             f"frame shape mismatch: {current.shape} vs {reference.shape}"
@@ -239,7 +239,7 @@ def compensate(
     broadcast across the block — bit-identical to the per-block loop it
     replaces.
     """
-    reference = np.asarray(reference, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)  # reprolint: disable=dtype-discipline -- frozen f64 codec arithmetic
     h, w = reference.shape
     nby, nbx = block_grid_shape(h, w, block)
     if motion_vectors.shape != (nby, nbx, 2):
@@ -251,8 +251,8 @@ def compensate(
     mv = np.asarray(motion_vectors, dtype=np.int64)
     dy = np.repeat(np.repeat(mv[:, :, 0], block, axis=0), block, axis=1)
     dx = np.repeat(np.repeat(mv[:, :, 1], block, axis=0), block, axis=1)
-    ys = np.clip(np.arange(ph)[:, None] + dy, 0, ph - 1)
-    xs = np.clip(np.arange(pw)[None, :] + dx, 0, pw - 1)
+    ys = np.clip(np.arange(ph, dtype=np.int64)[:, None] + dy, 0, ph - 1)
+    xs = np.clip(np.arange(pw, dtype=np.int64)[None, :] + dx, 0, pw - 1)
     return ref[ys, xs][:h, :w]
 
 

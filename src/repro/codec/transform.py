@@ -54,8 +54,8 @@ def quant_matrix(quality: int, block: int = DEFAULT_BLOCK) -> np.ndarray:
         # Resample the 8x8 table to the requested block size.
         ys = np.linspace(0, 7, block)
         xs = np.linspace(0, 7, block)
-        yi = np.clip(ys.astype(int), 0, 6)
-        xi = np.clip(xs.astype(int), 0, 6)
+        yi = np.clip(ys.astype(np.int64), 0, 6)
+        xi = np.clip(xs.astype(np.int64), 0, 6)
         fy = (ys - yi)[:, None]
         fx = (xs - xi)[None, :]
         base = (
@@ -89,4 +89,4 @@ def quantize(coeffs: np.ndarray, quality: int) -> np.ndarray:
 def dequantize(levels: np.ndarray, quality: int) -> np.ndarray:
     """Reconstruct coefficients from quantized integer levels."""
     steps = quant_matrix(quality, levels.shape[-1])
-    return levels.astype(np.float64) * steps
+    return levels.astype(np.float64) * steps  # reprolint: disable=dtype-discipline -- frozen f64 codec arithmetic

@@ -36,6 +36,7 @@ from typing import NamedTuple
 
 import numpy as np
 
+from ..contracts import shaped
 from .config import DEFAULT_ROI_CONFIG, RoIConfig
 
 __all__ = [
@@ -68,14 +69,23 @@ class DepthPreprocessStats(NamedTuple):
     selected_layer: int
 
 
+#: Slack accepted on the [0, 1] depth-range validation: renderers and
+#: resamplers may overshoot the unit range by a few ulp-scale rounding
+#: errors without the data being wrong.
+_DEPTH_RANGE_SLACK = 1e-9
+
+#: A foreground depth spread below this is a single depth plane.
+_DEGENERATE_DEPTH_SPREAD = 1e-9
+
+
 def _check_depth(depth: np.ndarray) -> np.ndarray:
-    depth = np.asarray(depth, dtype=np.float64)
+    depth = np.asarray(depth, dtype=np.float64)  # reprolint: disable=dtype-discipline -- frozen f64 RoI arithmetic
     if depth.ndim != 2:
         raise ValueError(f"expected a 2-D depth map, got shape {depth.shape}")
     if depth.size == 0:
         raise ValueError("depth map is empty")
     dmin, dmax = depth.min(), depth.max()
-    if dmin < -1e-9 or dmax > 1 + 1e-9:
+    if dmin < -_DEPTH_RANGE_SLACK or dmax > 1 + _DEPTH_RANGE_SLACK:
         raise ValueError("depth values must lie in [0, 1]")
     if dmin >= 0.0 and dmax <= 1.0:
         return depth  # already in range: the clip would be a no-op copy
@@ -148,11 +158,11 @@ def _foreground_threshold(depth: np.ndarray, config: RoIConfig) -> float:
     if finite.size == 0:
         return 1.0  # everything is background; keep all (degenerate frame)
     lo, hi = float(finite.min()), float(finite.max())
-    if hi - lo < 1e-9:
+    if hi - lo < _DEGENERATE_DEPTH_SPREAD:
         return hi  # single depth plane
     hist, edges = _uniform_histogram(finite, config.histogram_bins, lo, hi)
-    kernel = np.ones(config.valley_smoothing) / config.valley_smoothing
-    smooth = np.convolve(hist.astype(np.float64), kernel, mode="same")
+    kernel = np.ones(config.valley_smoothing, dtype=np.float64) / config.valley_smoothing
+    smooth = np.convolve(hist.astype(np.float64), kernel, mode="same")  # reprolint: disable=dtype-discipline -- exact int counts
     cumulative = np.cumsum(hist)
 
     peak_seen = smooth[0]
@@ -171,7 +181,7 @@ def _foreground_threshold(depth: np.ndarray, config: RoIConfig) -> float:
             return float(edges[i + 1])
 
     # Otsu fallback on the histogram.
-    probs = hist.astype(np.float64) / hist.sum()
+    probs = hist.astype(np.float64) / hist.sum()  # reprolint: disable=dtype-discipline -- exact int counts
     centers = (edges[:-1] + edges[1:]) / 2.0
     omega = np.cumsum(probs)
     mu = np.cumsum(probs * centers)
@@ -251,7 +261,7 @@ def layer_bounds(
     is a continuum (ground planes) rather than discrete object clusters —
     see the RoIConfig docstring and the A1 ablation.
     """
-    values = np.asarray(weighted, dtype=np.float64).reshape(-1)
+    values = np.asarray(weighted, dtype=np.float64).reshape(-1)  # reprolint: disable=dtype-discipline -- frozen f64 RoI arithmetic
     if values.size == 0:
         raise ValueError("cannot layer an empty value set")
     if mode == "range":
@@ -355,7 +365,7 @@ class DepthPreprocessResult:
     def weighted(self) -> np.ndarray:
         """Center-weighted foreground importance (0 outside the mask)."""
         if self._weighted is None:
-            out = np.zeros(self.processed.shape)
+            out = np.zeros(self.processed.shape, dtype=np.float64)
             out.ravel()[self._fg_flat] = self._fg_values
             self._weighted = out
         return self._weighted
@@ -378,6 +388,7 @@ class DepthPreprocessResult:
         )
 
 
+@shaped(depth="H W:n")
 def preprocess_depth(
     depth: np.ndarray,
     config: RoIConfig = DEFAULT_ROI_CONFIG,
@@ -462,7 +473,7 @@ def preprocess_depth(
         # Only reachable with stale stats: this frame has no pixel left in
         # the previously selected layer.
         return None
-    processed = np.zeros(depth.shape)
+    processed = np.zeros(depth.shape, dtype=np.float64)
     processed.ravel()[sel_flat] = fg_values[keep]
 
     # flat indices are sorted, so the row extent is free; columns need one

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import shaped
 from .config import DEFAULT_ROI_CONFIG, RoIConfig
 from .depth_preprocess import (
     DepthPreprocessResult,
@@ -84,9 +85,10 @@ class RoIDetector:
         self._warm_key = None
         self._warm_stats = None
 
+    @shaped(depth="H W:n")
     def detect(self, depth: np.ndarray) -> RoIDetection:
         """Locate the RoI on one depth buffer."""
-        depth = np.asarray(depth, dtype=np.float64)
+        depth = np.asarray(depth, dtype=np.float64)  # reprolint: disable=dtype-discipline -- frozen f64 RoI arithmetic
         if depth.ndim != 2:
             raise ValueError(f"expected 2-D depth buffer, got {depth.shape}")
         height, width = depth.shape

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import shaped
+
 __all__ = [
     "RoIBox",
     "RoISearchResult",
@@ -144,7 +146,7 @@ def window_sums(
     anchors are then interpreted in the table's coordinate frame.
     """
     if sat is None:
-        sat = _integral_image(np.asarray(values, dtype=np.float64))
+        sat = _integral_image(np.asarray(values, dtype=np.float64))  # reprolint: disable=dtype-discipline -- frozen f64 RoI arithmetic
     ys = np.asarray(ys)
     xs = np.asarray(xs)
     y0 = ys[:, None]
@@ -206,7 +208,7 @@ def _grid(start: int, stop: int, stride: int) -> np.ndarray:
     """Stride grid over [start, stop] that always includes both endpoints."""
     start = max(start, 0)
     stop = max(stop, start)
-    points = np.arange(start, stop + 1, stride)
+    points = np.arange(start, stop + 1, stride, dtype=np.int64)
     if points[-1] != stop:
         points = np.append(points, stop)
     return points
@@ -219,8 +221,8 @@ def _grid_around(center: int, lo: int, hi: int, stride: int) -> np.ndarray:
     so a static scene re-finds exactly the previous box; both endpoints
     are always included (``lo <= center <= hi`` is the caller's job).
     """
-    below = np.arange(center, lo - 1, -stride)[::-1]
-    above = np.arange(center + stride, hi + 1, stride)
+    below = np.arange(center, lo - 1, -stride, dtype=np.int64)[::-1]
+    above = np.arange(center + stride, hi + 1, stride, dtype=np.int64)
     points = np.concatenate((below, above))
     if points[0] != lo:
         points = np.concatenate(([lo], points))
@@ -242,6 +244,7 @@ def _validate(
     return height, width
 
 
+@shaped(processed="H W:n")
 def search_roi_scored(
     processed: np.ndarray,
     win_h: int,
@@ -278,7 +281,7 @@ def search_roi_scored(
     the pruning is a pure evaluation-order optimization, never a
     different function.
     """
-    processed = np.asarray(processed, dtype=np.float64)
+    processed = np.asarray(processed, dtype=np.float64)  # reprolint: disable=dtype-discipline -- frozen f64 RoI arithmetic
     height, width = _validate(processed, win_h, win_w, fine_stride)
     if coarse_stride is None:
         coarse_stride = max(max(win_h, win_w) // 2, 1)
@@ -324,8 +327,8 @@ def search_roi_scored(
         cc0 = int(xs[0])
         cc1 = min(int(xs[-1]) + win_w, width)
         xoff = xs - cc0
-        sums = np.empty((len(ys), len(xs)))
-        prefix = np.empty(cc1 - cc0 + 1)
+        sums = np.empty((len(ys), len(xs)), dtype=np.float64)
+        prefix = np.empty(cc1 - cc0 + 1, dtype=np.float64)
         prefix[0] = 0.0
         for i, y in enumerate(ys):
             band = processed[y : y + win_h, cc0:cc1].sum(axis=0)
@@ -375,6 +378,7 @@ def search_roi(
     ).box
 
 
+@shaped(processed="H W:n")
 def warm_search_roi(
     processed: np.ndarray,
     win_h: int,
@@ -394,7 +398,7 @@ def warm_search_roi(
     (:class:`~repro.core.detector.RoIDetector` compares ``score`` against
     its running full-search reference).
     """
-    processed = np.asarray(processed, dtype=np.float64)
+    processed = np.asarray(processed, dtype=np.float64)  # reprolint: disable=dtype-discipline -- frozen f64 RoI arithmetic
     height, width = _validate(processed, win_h, win_w, fine_stride)
     if boundary is None:
         boundary = max(max(win_h, win_w) // 2, 1)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import shaped
 from ..sr.interpolate import bilinear
 from ..sr.runner import SRRunner
 from .roi_search import RoIBox
@@ -38,9 +39,10 @@ class RoIAssistedUpscaler:
         self.runner = runner
         self.scale = runner.scale
 
+    @shaped(lr_frame="H W 3:n")
     def upscale(self, lr_frame: np.ndarray, roi: RoIBox) -> HybridUpscaleResult:
         """Upscale ``lr_frame`` with DNN SR inside ``roi``, bilinear outside."""
-        lr_frame = np.asarray(lr_frame, dtype=np.float64)
+        lr_frame = np.asarray(lr_frame, dtype=np.float64)  # reprolint: disable=dtype-discipline -- frozen f64 RoI arithmetic
         if lr_frame.ndim != 3 or lr_frame.shape[2] != 3:
             raise ValueError(f"expected (H, W, 3) frame, got {lr_frame.shape}")
         height, width = lr_frame.shape[:2]

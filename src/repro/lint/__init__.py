@@ -1,0 +1,49 @@
+"""reprolint: AST static analysis enforcing the repo's hard invariants.
+
+PRs 1-4 froze invariants by hand — a float32 no-grad inference dtype
+policy, exact tie-breaking instead of epsilon fudge, bit-identical
+frozen baselines, an acyclic layered import graph. This package turns
+them into tooling: ``python -m repro.lint src/ tests/`` runs a
+plugin-style registry of AST passes (no third-party dependencies) with
+inline suppressions, a checked-in baseline for grandfathered findings,
+and text/JSON reporters. See DESIGN.md ("Static analysis & runtime
+contracts")
+for the rule catalogue and workflow, and :mod:`repro.contracts` for the
+paired runtime shape/dtype contract layer.
+"""
+
+from __future__ import annotations
+
+from .framework import (
+    FileLintPass,
+    Finding,
+    LintPass,
+    LintResult,
+    ModuleInfo,
+    Project,
+    collect_modules,
+    load_baseline,
+    register_pass,
+    registered_passes,
+    render_json,
+    render_text,
+    run_lint,
+    write_baseline,
+)
+
+__all__ = [
+    "FileLintPass",
+    "Finding",
+    "LintPass",
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "collect_modules",
+    "load_baseline",
+    "register_pass",
+    "registered_passes",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,101 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 = clean (suppressed/baselined findings allowed), 1 = new
+findings, 2 = usage error. The default baseline is the checked-in
+``reprolint-baseline.json`` at the repository root (i.e. the current
+directory); pass ``--no-baseline`` to see every finding or
+``--write-baseline`` to regenerate the file from the current tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .framework import (
+    load_baseline,
+    registered_passes,
+    render_json,
+    render_text,
+    run_lint,
+    write_baseline,
+)
+
+__all__ = ["DEFAULT_BASELINE", "build_parser", "main"]
+
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="reprolint: static analysis for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files/directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for name, cls in registered_passes().items():
+            print(f"{name}: {cls.description}")
+        return 0
+
+    rule_names = None
+    if args.rules:
+        rule_names = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        baseline = load_baseline(baseline_path)
+
+    try:
+        result = run_lint(args.paths, rule_names=rule_names, baseline=baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.new)
+        print(
+            f"wrote {len(result.new)} entr"
+            f"{'y' if len(result.new) == 1 else 'ies'} to {baseline_path}"
+        )
+        return 0
+
+    print(render_text(result) if args.fmt == "text" else render_json(result))
+    return 0 if result.ok else 1

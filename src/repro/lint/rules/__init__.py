@@ -1,0 +1,28 @@
+"""The shipped reprolint rule set.
+
+Importing this package registers every pass with the framework registry
+(:func:`repro.lint.framework.register_pass`). Third-party / future
+passes follow the same pattern: subclass ``LintPass`` (or
+``FileLintPass``), decorate with ``@register_pass``, and import the
+module before calling :func:`repro.lint.framework.run_lint`.
+"""
+
+from __future__ import annotations
+
+from . import dtype, epsilon, imports, nondeterminism, public_api
+from .common import HOT_PACKAGES
+from .dtype import DtypeDisciplinePass
+from .epsilon import EpsilonComparisonPass
+from .imports import LAYERS, ImportHygienePass
+from .nondeterminism import NondeterminismPass
+from .public_api import PublicApiPass
+
+__all__ = [
+    "HOT_PACKAGES",
+    "LAYERS",
+    "DtypeDisciplinePass",
+    "EpsilonComparisonPass",
+    "ImportHygienePass",
+    "NondeterminismPass",
+    "PublicApiPass",
+]

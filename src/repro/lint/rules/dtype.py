@@ -1,0 +1,134 @@
+"""dtype-discipline: explicit dtypes on the frozen-precision hot paths.
+
+Three checks, all scoped to ``repro.neural`` / ``repro.sr`` /
+``repro.codec`` / ``repro.core`` (the packages whose arithmetic PRs 1-4
+froze against bit-identical baselines):
+
+1. **Implicit-dtype allocation** — ``np.zeros/ones/empty/full/arange``
+   without a ``dtype`` argument allocates whatever numpy defaults to,
+   which is exactly how silent float64 promotion (or platform-dependent
+   integer widths) sneaks into a float32-policy path. State the dtype.
+2. **Bare builtin dtype** — ``dtype=float`` / ``.astype(int)`` /
+   ``dtype="float"`` mean different widths on different platforms; use
+   the explicit ``np.float64``-style name.
+3. **float64 cast** — ``.astype(np.float64)`` and array-coercion calls
+   with ``dtype=np.float64`` promote existing data to double precision.
+   Each such cast on a hot path is either the sanctioned frozen-baseline
+   policy (suppress it inline with a justification) or a regression.
+
+Fresh allocations *with* ``dtype=np.float64`` are deliberately not check
+3 violations: an explicit allocation states its precision where review
+can see it; check 3 targets silent promotion of flowing data.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import FileLintPass, Finding, ModuleInfo, Project, register_pass
+from .common import HOT_PACKAGES, np_call_name, numpy_aliases, walk_calls
+
+__all__ = ["DtypeDisciplinePass"]
+
+#: Allocation call -> 0-based positional index a dtype may occupy.
+_ALLOC_DTYPE_POSITION = {"zeros": 1, "ones": 1, "empty": 1, "full": 2, "arange": 3}
+
+#: Array-coercion calls whose dtype= kwarg casts existing data.
+_COERCE_CALLS = ("asarray", "array", "ascontiguousarray", "asfortranarray")
+
+# bool is a fixed-width 1-byte dtype; only float/int are platform-ambiguous.
+_BARE_DTYPE_NAMES = ("float", "int")
+_BARE_DTYPE_STRINGS = ("float", "int")
+
+
+def _has_dtype_argument(call: ast.Call, positional_index: int) -> bool:
+    if any(kw.arg == "dtype" for kw in call.keywords):
+        return True
+    return len(call.args) > positional_index
+
+
+def _is_bare_dtype(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name) and node.id in _BARE_DTYPE_NAMES:
+        return True
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value in _BARE_DTYPE_STRINGS
+    )
+
+
+def _is_float64_dtype(node: ast.AST, aliases) -> bool:
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in ("float64", "double")
+        and isinstance(node.value, ast.Name)
+        and node.value.id in aliases
+    ):
+        return True
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value in ("float64", "double", "d", "f8")
+    )
+
+
+@register_pass
+class DtypeDisciplinePass(FileLintPass):
+    name = "dtype-discipline"
+    description = (
+        "hot-path allocations must state a dtype; no bare builtin dtypes; "
+        "float64 casts need an inline policy suppression"
+    )
+
+    def check_module(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not mod.in_package(HOT_PACKAGES):
+            return
+        aliases = numpy_aliases(mod)
+        assert mod.tree is not None
+        for call in walk_calls(mod.tree):
+            yield from self._check_call(mod, call, aliases)
+
+    def _check_call(self, mod: ModuleInfo, call: ast.Call, aliases) -> Iterator[Finding]:
+        np_name = np_call_name(call, aliases) if aliases else None
+
+        if np_name in _ALLOC_DTYPE_POSITION:
+            if not _has_dtype_argument(call, _ALLOC_DTYPE_POSITION[np_name]):
+                yield self.finding(
+                    mod,
+                    call,
+                    f"np.{np_name}(...) without an explicit dtype on a hot path "
+                    "(implicit float64/platform-int allocation)",
+                )
+
+        dtype_values = [kw.value for kw in call.keywords if kw.arg == "dtype"]
+        is_astype = isinstance(call.func, ast.Attribute) and call.func.attr == "astype"
+        if is_astype and call.args:
+            dtype_values.append(call.args[0])
+
+        for value in dtype_values:
+            if _is_bare_dtype(value):
+                yield self.finding(
+                    mod,
+                    call,
+                    "bare builtin dtype (float/int) is platform-ambiguous; "
+                    "use an explicit np.float64-style dtype",
+                )
+
+        # np.array over a literal list/tuple is a fresh allocation stating
+        # its precision, not a cast of flowing data.
+        literal_alloc = (
+            np_name == "array"
+            and call.args
+            and isinstance(call.args[0], (ast.List, ast.Tuple, ast.Constant))
+        )
+        if (is_astype or np_name in _COERCE_CALLS) and not literal_alloc:
+            for value in dtype_values:
+                if _is_float64_dtype(value, aliases):
+                    yield self.finding(
+                        mod,
+                        call,
+                        "float64 cast of flowing data on a hot path; if this is "
+                        "the frozen-baseline f64 policy, suppress inline with "
+                        "`# reprolint: disable=dtype-discipline -- <why>`",
+                    )

@@ -1,0 +1,125 @@
+"""epsilon-comparison: no inline float-literal tolerance comparisons.
+
+Three of PR 4's Algorithm-1 bugs came from the same pattern: a magic
+``1e-9``/``1e-12`` literal inside a comparison (``abs(a - b) < 1e-9``
+tie-breaking, a ``+ 1e-12`` degenerate-bound bump). Exact comparison —
+or a *named*, documented module-level tolerance constant — is the house
+style; this pass flags the inline-literal form outside tests.
+
+Flagged (comparators of one ``ast.Compare``):
+
+* a tiny float literal (0 < \\|x\\| <= 1e-5) compared against an
+  expression containing ``abs(...)`` or a subtraction — the classic
+  fuzzy-equality shape;
+* any comparator of the form ``expr +/- tiny-literal`` — an
+  epsilon-bumped bound inside a comparison.
+
+Deliberately *not* flagged: plain threshold guards (``norm < 1e-12``
+with no abs/subtraction), epsilons in arithmetic outside comparisons
+(``/ (x + 1e-8)`` normalizers), and named constants (naming forces the
+tolerance through review once, at its definition).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..framework import FileLintPass, Finding, ModuleInfo, Project, register_pass
+
+__all__ = ["EpsilonComparisonPass", "TINY_LITERAL_BOUND"]
+
+#: Literals at or below this magnitude count as tolerance epsilons.
+TINY_LITERAL_BOUND = 1e-5
+
+
+def _tiny_literal(node: ast.AST) -> Optional[float]:
+    """The value of a tiny float literal (handling unary minus), else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _tiny_literal(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        value = node.value
+        if value != 0.0 and abs(value) <= TINY_LITERAL_BOUND:
+            return value
+    return None
+
+
+def _has_difference(node: ast.AST) -> bool:
+    """True when the expression contains abs(...) or a subtraction."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Sub):
+            return True
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id in ("abs", "fabs")
+        ):
+            return True
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in ("abs", "fabs", "absolute")
+        ):
+            return True
+    return False
+
+
+def _bumped_bound(node: ast.AST) -> bool:
+    """``expr + 1e-12`` / ``expr - 1e-12`` as a comparator."""
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, (ast.Add, ast.Sub))
+        and (
+            _tiny_literal(node.left) is not None
+            or _tiny_literal(node.right) is not None
+        )
+    )
+
+
+@register_pass
+class EpsilonComparisonPass(FileLintPass):
+    name = "epsilon-comparison"
+    description = (
+        "inline float-literal tolerance comparisons (abs(a-b) < 1e-9, "
+        "+1e-12 bound bumps) outside tests"
+    )
+
+    def check_module(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if mod.is_test:
+            return
+        assert mod.tree is not None
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            sides = [node.left] + list(node.comparators)
+            reported = False
+            for left, right in zip(sides, sides[1:]):
+                for literal_side, other in ((left, right), (right, left)):
+                    if reported:
+                        break
+                    if _tiny_literal(literal_side) is not None and _has_difference(
+                        other
+                    ):
+                        yield self.finding(
+                            mod,
+                            node,
+                            "float-literal tolerance comparison (the PR-4 bug "
+                            "pattern); compare exactly or hoist a named, "
+                            "documented tolerance constant",
+                        )
+                        reported = True
+            for side in sides:
+                if reported:
+                    break
+                if _bumped_bound(side):
+                    yield self.finding(
+                        mod,
+                        node,
+                        "epsilon-bumped bound inside a comparison (+/- tiny "
+                        "literal); use exact arithmetic (e.g. np.nextafter) or "
+                        "a named tolerance constant",
+                    )
+                    reported = True

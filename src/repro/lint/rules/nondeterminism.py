@@ -1,0 +1,90 @@
+"""nondeterminism: no unseeded randomness or wall-clock in core numerics.
+
+The equivalence suites (frozen seed copies, golden SHA digests) only
+work because every numeric path is a pure function of its inputs plus
+an explicit seed. Scoped to the hot packages, this pass flags:
+
+* legacy global-state numpy RNG calls (``np.random.rand`` & co.) — the
+  module-level RandomState is process-global and order-dependent;
+* ``np.random.default_rng()`` with *no* seed argument;
+* stdlib ``random`` module calls (``random.random()``, a bare
+  ``random.Random()``) — same global-state problem;
+* wall-clock reads (``time.time``/``time_ns``) inside numeric code —
+  timing belongs to the benchmark/observability layers.
+
+Passing an ``np.random.Generator`` *in* (the repo idiom: every
+stochastic function takes ``rng``) is untouched — the pass only looks
+at construction sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import FileLintPass, Finding, ModuleInfo, Project, register_pass
+from .common import HOT_PACKAGES, attr_chain, module_aliases, walk_calls
+
+__all__ = ["NondeterminismPass"]
+
+#: np.random members that construct explicitly-seedable objects.
+_SEEDABLE = ("default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937")
+
+
+@register_pass
+class NondeterminismPass(FileLintPass):
+    name = "nondeterminism"
+    description = (
+        "unseeded RNG (np.random globals, bare default_rng()/Random(), stdlib "
+        "random) or wall-clock reads in core numerics"
+    )
+
+    def check_module(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not mod.in_package(HOT_PACKAGES):
+            return
+        np_aliases = module_aliases(mod, "numpy")
+        random_aliases = module_aliases(mod, "random")
+        time_aliases = module_aliases(mod, "time")
+        assert mod.tree is not None
+        for call in walk_calls(mod.tree):
+            chain = attr_chain(call.func)
+            if chain is None:
+                continue
+            if len(chain) == 3 and chain[0] in np_aliases and chain[1] == "random":
+                member = chain[2]
+                if member not in _SEEDABLE:
+                    yield self.finding(
+                        mod,
+                        call,
+                        f"np.random.{member}(...) uses the process-global "
+                        "RandomState; construct a seeded np.random.default_rng "
+                        "and thread it through",
+                    )
+                elif member == "default_rng" and not call.args and not call.keywords:
+                    yield self.finding(
+                        mod,
+                        call,
+                        "np.random.default_rng() without a seed is entropy-"
+                        "seeded; pass an explicit seed (or accept an rng "
+                        "argument)",
+                    )
+            elif len(chain) == 2 and chain[0] in random_aliases:
+                if chain[1] == "Random" and (call.args or call.keywords):
+                    continue  # random.Random(seed) is deterministic
+                yield self.finding(
+                    mod,
+                    call,
+                    f"stdlib random.{chain[1]}(...) in core numerics; use a "
+                    "seeded np.random.default_rng threaded through arguments",
+                )
+            elif (
+                len(chain) == 2
+                and chain[0] in time_aliases
+                and chain[1] in ("time", "time_ns")
+            ):
+                yield self.finding(
+                    mod,
+                    call,
+                    "wall-clock read in core numerics; timing belongs in the "
+                    "benchmark/observability layers",
+                )

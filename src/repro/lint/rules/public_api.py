@@ -1,0 +1,168 @@
+"""public-api: ``__all__`` is complete, resolvable, and mandatory.
+
+Drift between what a module defines and what it exports is how private
+helpers leak into downstream imports (and how genuinely public symbols
+silently vanish from ``from x import *`` and the API tests). For every
+module under ``repro``:
+
+* the module must define a statically-parseable ``__all__`` (list or
+  tuple of string literals) — except ``__main__`` entrypoints and
+  modules whose own filename is underscore-private;
+* every ``__all__`` entry must resolve to a top-level binding (def,
+  class, assignment, or import);
+* every top-level def/class/assignment with a public name must appear
+  in ``__all__`` or be renamed with a leading underscore. Imported
+  names are exempt: re-exports are opt-in via ``__all__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..framework import FileLintPass, Finding, ModuleInfo, Project, register_pass
+
+__all__ = ["PublicApiPass"]
+
+_ROOT_PACKAGE = "repro"
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def _top_level_bindings(tree: ast.Module) -> Tuple[Set[str], Set[str]]:
+    """(names defined in the module, names bound by imports)."""
+    defined: Set[str] = set()
+    imported: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                defined.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            defined.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    imported.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING / fallback-import blocks: one level deep.
+            for child in ast.walk(node):
+                if isinstance(child, ast.Import):
+                    for alias in child.names:
+                        imported.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(child, ast.ImportFrom):
+                    for alias in child.names:
+                        if alias.name != "*":
+                            imported.add(alias.asname or alias.name)
+    return defined, imported
+
+
+def _parse_all(tree: ast.Module) -> Tuple[Optional[List[str]], Optional[ast.stmt], bool]:
+    """(entries, node, is_static). ``entries`` None when ``__all__`` absent;
+    ``is_static`` False when present but not a literal list/tuple of str."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            return [e.value for e in value.elts], node, True  # type: ignore[union-attr]
+        return None, node, False
+    return None, None, True
+
+
+@register_pass
+class PublicApiPass(FileLintPass):
+    name = "public-api"
+    description = (
+        "__all__ must exist, every entry must resolve, and every public "
+        "top-level symbol must be exported or underscored"
+    )
+
+    def check_module(self, mod: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if mod.name is None or not (
+            mod.name == _ROOT_PACKAGE or mod.name.startswith(_ROOT_PACKAGE + ".")
+        ):
+            return
+        last = mod.name.rsplit(".", 1)[-1]
+        if last == "__main__" or last.startswith("_"):
+            return
+        assert mod.tree is not None
+
+        entries, all_node, is_static = _parse_all(mod.tree)
+        if all_node is None:
+            yield self.finding(
+                mod,
+                mod.tree.body[0] if mod.tree.body else None,
+                f"module {mod.name} defines no __all__; declare its public "
+                "surface explicitly",
+            )
+            return
+        if not is_static:
+            yield self.finding(
+                mod,
+                all_node,
+                "__all__ is not a literal list/tuple of strings, so the "
+                "public surface cannot be checked statically",
+            )
+            return
+        assert entries is not None
+
+        defined, imported = _top_level_bindings(mod.tree)
+        bindings = defined | imported
+        exported = set(entries)
+        for entry in entries:
+            if entry not in bindings:
+                yield self.finding(
+                    mod,
+                    all_node,
+                    f"__all__ lists {entry!r} but the module defines no such "
+                    "top-level binding",
+                )
+        for name in sorted(defined - exported):
+            if name.startswith("_"):
+                continue
+            yield self.finding(
+                mod,
+                self._def_node(mod.tree, name) or all_node,
+                f"public symbol {name!r} is not in __all__; export it or "
+                "prefix it with an underscore",
+            )
+
+    @staticmethod
+    def _def_node(tree: ast.Module, name: str) -> Optional[ast.stmt]:
+        for node in tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and node.name == name:
+                return node
+            if isinstance(node, ast.Assign) and any(
+                name in _target_names(t) for t in node.targets
+            ):
+                return node
+            if (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == name
+            ):
+                return node
+        return None

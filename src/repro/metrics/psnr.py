@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import shaped
+
 __all__ = ["mse", "psnr", "ACCEPTABLE_PSNR_DB"]
 
 #: PSNR value the paper cites as the acceptability floor for video frames.
@@ -25,6 +27,7 @@ def mse(reference: np.ndarray, test: np.ndarray) -> float:
     return float(np.mean((reference - test) ** 2))
 
 
+@shaped(reference="H W:n|H W C:n|N C H W:n", test="H W:n|H W C:n|N C H W:n")
 def psnr(reference: np.ndarray, test: np.ndarray, data_range: float = 1.0) -> float:
     """PSNR in dB of ``test`` against ``reference``.
 

@@ -7,6 +7,8 @@ tests as a second full-reference check on the quality claims.
 from __future__ import annotations
 
 import numpy as np
+
+from ..contracts import shaped
 from scipy.ndimage import uniform_filter
 
 __all__ = ["ssim"]
@@ -23,6 +25,7 @@ def _to_luma(image: np.ndarray) -> np.ndarray:
     return image
 
 
+@shaped(reference="H W:n|H W C:n", test="H W:n|H W C:n")
 def ssim(
     reference: np.ndarray,
     test: np.ndarray,

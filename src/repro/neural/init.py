@@ -33,4 +33,4 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarr
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=np.float64)

@@ -91,7 +91,7 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=np.float64)  # reprolint: disable=dtype-discipline -- f64 training/state policy
             if value.shape != param.shape:
                 raise ValueError(
                     f"parameter {name!r}: shape {value.shape} != {param.shape}"

@@ -29,7 +29,9 @@ import numpy as np
 
 __all__ = [
     "Tensor",
+    "ArrayLike",
     "as_tensor",
+    "concat",
     "no_grad",
     "is_grad_enabled",
     "set_inference_dtype",
@@ -221,7 +223,7 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=np.float64, copy=True)  # reprolint: disable=dtype-discipline -- f64 training/state policy
         else:
             self.grad += grad
 
@@ -495,7 +497,7 @@ class Tensor:
                 )
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=np.float64)  # reprolint: disable=dtype-discipline -- f64 training/state policy
             if grad.shape != self.shape:
                 raise ValueError(
                     f"gradient shape {grad.shape} != tensor shape {self.shape}"

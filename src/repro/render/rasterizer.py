@@ -29,6 +29,10 @@ from .shading import DirectionalLight, Material
 
 __all__ = ["RenderOutput", "render", "sky_gradient"]
 
+#: Triangles whose doubled signed screen-space area is below this are
+#: treated as degenerate (edge-on or collapsed) and skipped.
+_DEGENERATE_TRIANGLE_AREA = 1e-12
+
 
 @dataclass(frozen=True)
 class RenderOutput:
@@ -145,7 +149,7 @@ def _raster_triangle(
         return
 
     area = (xs[1] - xs[0]) * (ys[2] - ys[0]) - (xs[2] - xs[0]) * (ys[1] - ys[0])
-    if abs(area) < 1e-12:
+    if abs(area) < _DEGENERATE_TRIANGLE_AREA:
         return
     px, py = np.meshgrid(
         np.arange(min_x, max_x + 1, dtype=np.float64),

@@ -19,7 +19,7 @@ from .mesh import Mesh
 from .rasterizer import RenderOutput, render
 from .shading import DirectionalLight, Material
 
-__all__ = ["SceneObject", "Scene"]
+__all__ = ["SceneObject", "Scene", "TransformFn", "CameraFn"]
 
 TransformFn = Callable[[float], np.ndarray]
 CameraFn = Callable[[float], Camera]

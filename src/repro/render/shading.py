@@ -25,6 +25,7 @@ __all__ = [
     "marble",
     "grass_detail",
     "TEXTURES",
+    "TextureFn",
 ]
 
 TextureFn = Callable[[np.ndarray, np.ndarray], np.ndarray]

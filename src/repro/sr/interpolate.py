@@ -17,6 +17,8 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from ..contracts import shaped
+
 __all__ = [
     "upscale",
     "nearest",
@@ -29,7 +31,7 @@ __all__ = [
 
 
 def _check_image(image: np.ndarray) -> np.ndarray:
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image, dtype=np.float64)  # reprolint: disable=dtype-discipline -- documented f64-in/f64-out resampling
     if image.ndim not in (2, 3):
         raise ValueError(
             f"expected (H, W) or (H, W, C) image, got shape {image.shape}"
@@ -53,6 +55,7 @@ def nearest(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
     return image[ys.astype(np.intp)][:, xs.astype(np.intp)]
 
 
+@shaped(image="H W:n|H W C:n")
 def bilinear(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
     """Bilinear resampling (the paper's GPU ``GL_LINEAR`` path)."""
     image = _check_image(image)
@@ -95,7 +98,7 @@ def _cubic_kernel(x: np.ndarray, a: float = -0.5) -> np.ndarray:
 
 def _lanczos_kernel(x: np.ndarray, taps: int = 3) -> np.ndarray:
     """Lanczos windowed-sinc kernel with ``taps`` lobes."""
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)  # reprolint: disable=dtype-discipline -- documented f64-in/f64-out resampling
     out = np.zeros_like(x)
     mask = np.abs(x) < taps
     xm = x[mask]
@@ -115,7 +118,7 @@ def _separable_resample(
     def _axis_weights(out_size: int, in_size: int) -> tuple[np.ndarray, np.ndarray]:
         coords = _source_coords(out_size, in_size)
         base = np.floor(coords).astype(np.intp)
-        offsets = np.arange(-support + 1, support + 1)
+        offsets = np.arange(-support + 1, support + 1, dtype=np.int64)
         idx = base[:, None] + offsets[None, :]
         w = kernel(coords[:, None] - idx)
         norm = w.sum(axis=1, keepdims=True)

@@ -25,9 +25,15 @@ from ..neural.models import EDSR
 from ..neural.serialization import load_weights, save_weights
 from .training import extract_patches, train_sr_model
 
-__all__ = ["model_geometry", "default_sr_model", "training_frames", "PROFILES"]
+__all__ = [
+    "model_geometry",
+    "default_sr_model",
+    "training_frames",
+    "PROFILES",
+    "DEFAULT_TRAIN_CODEC_QUALITY",
+]
 
-logger = logging.getLogger(__name__)
+_logger = logging.getLogger(__name__)
 
 PROFILES = {
     # profile: (n_resblocks, n_feats, epochs, per_frame_patches)
@@ -84,7 +90,7 @@ def default_sr_model(
         except (zipfile.BadZipFile, OSError, KeyError, ValueError) as exc:
             # A truncated/garbled checkpoint (e.g. from an interrupted
             # run) must not brick the whole suite: drop it and retrain.
-            logger.warning(
+            _logger.warning(
                 "corrupt weights cache %s (%s: %s); retraining",
                 path, type(exc).__name__, exc,
             )

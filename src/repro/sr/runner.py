@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import shaped
 from ..neural.layers import Module
 from ..neural.tensor import Tensor, get_inference_dtype, no_grad
 
@@ -49,13 +50,14 @@ class SRRunner:
         model.eval()
 
     def _to_batch(self, image: np.ndarray) -> np.ndarray:
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=np.float64)  # reprolint: disable=dtype-discipline -- seam-normalized before inference-dtype cast
         if image.ndim == 2:
             image = image[:, :, None]
         if image.ndim != 3:
             raise ValueError(f"expected (H, W[, C]) image, got {image.shape}")
         return image.transpose(2, 0, 1)[None]
 
+    @shaped(image="H W:n|H W C:n")
     def upscale(self, image: np.ndarray) -> np.ndarray:
         """Upscale a whole (H, W, C) image in one forward pass."""
         batch = self._to_batch(image)
@@ -66,6 +68,7 @@ class SRRunner:
             result = result[:, :, 0]
         return np.clip(result, 0.0, 1.0)
 
+    @shaped(image="H W:n|H W C:n")
     def upscale_tiled(
         self,
         image: np.ndarray,
@@ -87,7 +90,7 @@ class SRRunner:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
 
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=np.float64)  # reprolint: disable=dtype-discipline -- seam-normalized before inference-dtype cast
         squeeze = image.ndim == 2
         if squeeze:
             image = image[:, :, None]
@@ -155,13 +158,13 @@ class SRRunner:
         self, image: np.ndarray, tile: int, overlap: int
     ) -> np.ndarray:
         """Pre-batching reference implementation: one forward per tile."""
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=np.float64)  # reprolint: disable=dtype-discipline -- frozen pre-batching reference path
         squeeze = image.ndim == 2
         if squeeze:
             image = image[:, :, None]
         h, w, c = image.shape
         s = self.scale
-        out = np.zeros((h * s, w * s, c))
+        out = np.zeros((h * s, w * s, c), dtype=np.float64)
 
         step = tile - 2 * overlap
         y = 0

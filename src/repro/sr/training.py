@@ -79,7 +79,7 @@ def extract_patches(
     hr_list: List[np.ndarray] = []
 
     for frame in hr_frames:
-        frame = np.asarray(frame, dtype=np.float64)
+        frame = np.asarray(frame, dtype=np.float64)  # reprolint: disable=dtype-discipline -- f64 training/state policy
         h, w = frame.shape[:2]
         if h < patch_hr or w < patch_hr:
             raise ValueError(f"frame {h}x{w} smaller than HR patch {patch_hr}")

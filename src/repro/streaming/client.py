@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..codec.decoder import DecodedFrame, VideoDecoder
+from ..contracts import expect
 from ..codec.motion import compensate, upscale_motion_vectors
 from ..core.roi_search import RoIBox
 from ..core.upscaler import RoIAssistedUpscaler
@@ -58,6 +59,7 @@ __all__ = [
     "BilinearClient",
     "FullFrameSRClient",
     "SRIntegratedDecoderClient",
+    "EnergyStages",
 ]
 
 EnergyStages = Dict[str, List[Tuple[Component, float]]]
@@ -108,6 +110,7 @@ class StreamingClient:
             st.meta(hardware=self.decode_hardware)
 
         hr = self._upscale_stage(frame, decoded, trace)
+        expect(hr, "H W 3:f", name="hr_frame", where=f"{type(self).__name__}.process")
 
         with trace.stage("display") as st:
             st.modeled_ms = self._display_ms(frame, trace)

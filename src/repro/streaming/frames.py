@@ -11,7 +11,13 @@ from ..codec.encoder import EncodedFrame
 from ..core.roi_search import RoIBox
 from .pipeline import FrameTrace
 
-__all__ = ["StreamGeometry", "ServerFrame", "ClientFrameResult", "ROI_METADATA_BYTES"]
+__all__ = [
+    "StreamGeometry",
+    "ServerFrame",
+    "ClientFrameResult",
+    "ROI_METADATA_BYTES",
+    "BYTE_SCALE_EXPONENT",
+]
 
 #: Bytes added per frame to carry the RoI coordinates (x, y, w, h as u32).
 ROI_METADATA_BYTES = 16

@@ -1,0 +1,71 @@
+"""Acceptance: a default-config session runs clean under REPRO_CONTRACTS=1
+and produces byte-identical output to the contracts-off run.
+
+Because @shaped reads the flag at import time, each mode gets its own
+subprocess; the HR framebuffers of a 2-frame GameStreamSR session are
+hashed inside each and compared here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+_SESSION_CODE = """
+import hashlib
+import numpy as np
+from repro.contracts import contracts_enabled
+from repro.core.roi_sizing import plan_roi_window
+from repro.platform.device import get_device
+from repro.render.games import build_game
+from repro.sr.pretrained import default_sr_model
+from repro.sr.runner import SRRunner
+from repro.streaming.client import GameStreamSRClient
+from repro.streaming.frames import StreamGeometry
+from repro.streaming.server import GameStreamServer
+
+device = get_device("samsung_tab_s8")
+plan = plan_roi_window(device)
+runner = SRRunner(default_sr_model(profile="tiny"))
+geometry = StreamGeometry(eval_lr_height=64, eval_lr_width=112, lr_source="native")
+server = GameStreamServer(
+    build_game("G3"), geometry, roi_side=plan.side_for_frame(64), gop_size=2
+)
+client = GameStreamSRClient(device, runner, modeled_roi_side=plan.side)
+digest = hashlib.sha256()
+for _ in range(2):
+    out = client.process(server.next_frame())
+    digest.update(np.ascontiguousarray(out.hr_frame).tobytes())
+print(f"enabled={contracts_enabled()} sha256={digest.hexdigest()}")
+"""
+
+
+def _run_session(contracts_flag: str) -> str:
+    env = dict(os.environ, REPRO_CONTRACTS=contracts_flag)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _SESSION_CODE],
+        env=env,
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert proc.returncode == 0, (
+        f"session with REPRO_CONTRACTS={contracts_flag} failed:\n{proc.stderr}"
+    )
+    return proc.stdout.strip()
+
+def test_session_clean_and_byte_identical_under_contracts():
+    off = _run_session("0")
+    on = _run_session("1")
+    assert off.startswith("enabled=False ")
+    assert on.startswith("enabled=True ")
+    assert off.split("sha256=")[1] == on.split("sha256=")[1]

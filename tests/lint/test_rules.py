@@ -1,0 +1,213 @@
+"""Per-rule fixture snippets: positive, suppressed, and exempt cases.
+
+Every snippet is linted in memory under a synthetic module name (see
+``conftest.make_module``), so hot-path scoping is exercised without
+touching the real tree. The violating code lives in string literals —
+the self-lint of this test file sees only ``ast.Constant`` strings.
+"""
+
+from __future__ import annotations
+
+from ._fixtures import make_module
+
+
+def rules(result):
+    return [f.rule for f in result.new]
+
+
+class TestDtypeDiscipline:
+    RULE = ("dtype-discipline",)
+
+    def test_implicit_alloc_flagged_in_hot_package(self, lint):
+        mod = make_module(
+            "import numpy as np\nx = np.zeros(4)\n", name="repro.codec.fixture"
+        )
+        result = lint(mod, self.RULE)
+        assert rules(result) == ["dtype-discipline"]
+        assert result.new[0].line == 2
+
+    def test_explicit_dtype_clean(self, lint):
+        mod = make_module(
+            "import numpy as np\nx = np.zeros(4, dtype=np.float64)\n",
+            name="repro.codec.fixture",
+        )
+        assert lint(mod, self.RULE).ok
+
+    def test_outside_hot_packages_ignored(self, lint):
+        mod = make_module(
+            "import numpy as np\nx = np.zeros(4)\n", name="repro.render.fixture"
+        )
+        assert lint(mod, self.RULE).ok
+
+    def test_bare_float_dtype_flagged_bool_exempt(self, lint):
+        src = (
+            "import numpy as np\n"
+            "a = np.empty(3, dtype=float)\n"
+            "b = np.empty(3, dtype=bool)\n"
+        )
+        result = lint(make_module(src, name="repro.core.fixture"), self.RULE)
+        assert [f.line for f in result.new] == [2]
+
+    def test_float64_cast_flagged_literal_alloc_exempt(self, lint):
+        src = (
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    y = x.astype(np.float64)\n"
+            "    table = np.array([[1.0, 2.0]], dtype=np.float64)\n"
+            "    return y, table\n"
+        )
+        result = lint(make_module(src, name="repro.sr.fixture"), self.RULE)
+        assert [f.line for f in result.new] == [3]
+
+    def test_line_suppression(self, lint):
+        src = (
+            "import numpy as np\n"
+            "x = np.zeros(4)  # reprolint: disable=dtype-discipline -- fixture\n"
+        )
+        result = lint(make_module(src, name="repro.codec.fixture"), self.RULE)
+        assert result.ok
+        assert len(result.suppressed) == 1
+
+
+class TestEpsilonComparison:
+    RULE = ("epsilon-comparison",)
+
+    def test_abs_difference_vs_tiny_literal_flagged(self, lint):
+        src = "def f(a, b):\n    return abs(a - b) < 1e-9\n"
+        result = lint(make_module(src, name="repro.core.fixture"), self.RULE)
+        assert rules(result) == ["epsilon-comparison"]
+
+    def test_bumped_bound_flagged(self, lint):
+        src = "def f(a, b):\n    return a <= b + 1e-12\n"
+        result = lint(make_module(src, name="repro.core.fixture"), self.RULE)
+        assert rules(result) == ["epsilon-comparison"]
+
+    def test_plain_threshold_guard_clean(self, lint):
+        # `norm < 1e-12` degenerate guards have no difference on the other
+        # comparator, so they are not the PR-4 bug shape.
+        src = "def f(norm):\n    return norm < 1e-12\n"
+        assert lint(make_module(src, name="repro.core.fixture"), self.RULE).ok
+
+    def test_named_constant_is_the_sanctioned_remediation(self, lint):
+        src = (
+            "_TOL = 1e-9  # documented\n"
+            "def f(a, b):\n"
+            "    return abs(a - b) < _TOL\n"
+        )
+        assert lint(make_module(src, name="repro.core.fixture"), self.RULE).ok
+
+    def test_tests_exempt(self, lint):
+        src = "def f(a, b):\n    assert abs(a - b) < 1e-9\n"
+        mod = make_module(src, name=None, rel="tests/fixture/test_fixture.py")
+        assert lint(mod, self.RULE).ok
+
+
+class TestNondeterminism:
+    RULE = ("nondeterminism",)
+
+    def test_unseeded_np_random_flagged(self, lint):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        result = lint(make_module(src, name="repro.neural.fixture"), self.RULE)
+        assert rules(result) == ["nondeterminism"]
+
+    def test_argless_default_rng_flagged_seeded_clean(self, lint):
+        src = (
+            "import numpy as np\n"
+            "bad = np.random.default_rng()\n"
+            "good = np.random.default_rng(1234)\n"
+        )
+        result = lint(make_module(src, name="repro.neural.fixture"), self.RULE)
+        assert [f.line for f in result.new] == [2]
+
+    def test_time_and_stdlib_random_flagged(self, lint):
+        src = (
+            "import random\nimport time\n"
+            "a = random.random()\n"
+            "b = time.time()\n"
+            "c = random.Random(42)\n"
+        )
+        result = lint(make_module(src, name="repro.core.fixture"), self.RULE)
+        assert [f.line for f in result.new] == [3, 4]
+
+    def test_outside_hot_packages_ignored(self, lint):
+        src = "import time\nt = time.time()\n"
+        assert lint(make_module(src, name="repro.analysis.fixture"), self.RULE).ok
+
+
+class TestImportHygiene:
+    RULE = ("import-hygiene",)
+
+    def test_layering_violation(self, lint):
+        low = make_module(
+            "from repro.streaming.fixture_hi import thing\n",
+            name="repro.core.fixture_lo",
+        )
+        high = make_module("thing = 1\n", name="repro.streaming.fixture_hi")
+        result = lint([low, high], self.RULE)
+        assert rules(result) == ["import-hygiene"]
+        assert "layering violation" in result.new[0].message
+
+    def test_legal_downward_import(self, lint):
+        hi = make_module(
+            "import repro.neural.fixture_b\n", name="repro.sr.fixture_a"
+        )
+        lo = make_module("x = 1\n", name="repro.neural.fixture_b")
+        assert lint([hi, lo], self.RULE).ok
+
+    def test_cycle_detected(self, lint):
+        a = make_module(
+            "import repro.core.fixture_b\n", name="repro.core.fixture_a"
+        )
+        b = make_module(
+            "import repro.core.fixture_a\n", name="repro.core.fixture_b"
+        )
+        result = lint([a, b], self.RULE)
+        assert any("import cycle" in f.message for f in result.new)
+
+    def test_function_local_import_breaks_cycle(self, lint):
+        a = make_module(
+            "def f():\n    import repro.core.fixture_b\n",
+            name="repro.core.fixture_a",
+        )
+        b = make_module(
+            "import repro.core.fixture_a\n", name="repro.core.fixture_b"
+        )
+        assert lint([a, b], self.RULE).ok
+
+    def test_unknown_package_is_a_finding(self, lint):
+        mod = make_module(
+            "import repro.newpkg.fixture_t\n", name="repro.core.fixture"
+        )
+        target = make_module("x = 1\n", name="repro.newpkg.fixture_t")
+        result = lint([mod, target], self.RULE)
+        assert any("layer table" in f.message for f in result.new)
+
+
+class TestPublicApi:
+    RULE = ("public-api",)
+
+    def test_missing_all_entry_flagged(self, lint):
+        src = '__all__ = ["ghost"]\n'
+        result = lint(make_module(src, name="repro.core.fixture"), self.RULE)
+        assert rules(result) == ["public-api"]
+
+    def test_unexported_public_symbol_flagged(self, lint):
+        src = '__all__ = ["f"]\n\ndef f():\n    pass\n\ndef g():\n    pass\n'
+        result = lint(make_module(src, name="repro.core.fixture"), self.RULE)
+        assert len(result.new) == 1
+        assert "g" in result.new[0].message
+
+    def test_underscored_and_imported_names_exempt(self, lint):
+        src = (
+            "import os\n"
+            "from pathlib import Path\n"
+            '__all__ = ["f"]\n'
+            "def f():\n    pass\n"
+            "def _helper():\n    pass\n"
+        )
+        assert lint(make_module(src, name="repro.core.fixture"), self.RULE).ok
+
+    def test_non_literal_all_reported(self, lint):
+        src = "__all__ = [n for n in dir() if n.isupper()]\n"
+        result = lint(make_module(src, name="repro.core.fixture"), self.RULE)
+        assert any("statically" in f.message for f in result.new)
