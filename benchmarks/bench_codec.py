@@ -47,6 +47,7 @@ from repro.codec.motion import compensate, estimate_motion  # noqa: E402
 from repro.codec.transform import forward_dct, quantize  # noqa: E402
 from repro.metrics.psnr import psnr  # noqa: E402
 
+from conftest import write_bench_json  # noqa: E402
 from _legacy_codec import (  # noqa: E402
     LegacyBitReader,
     LegacyBitWriter,
@@ -277,11 +278,7 @@ def main(argv: list[str] | None = None) -> int:
             )
     report["criteria_failures"] = failures
 
-    name = "BENCH_codec.smoke.json" if args.smoke else "BENCH_codec.json"
-    out_path = REPO_ROOT / name
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
-    print(f"\nwrote {out_path}", file=sys.stderr)
+    write_bench_json("codec", report, smoke=args.smoke)
     if failures:
         print("CRITERIA FAILED: " + "; ".join(failures), file=sys.stderr)
         return 1

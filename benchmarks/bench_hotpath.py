@@ -46,6 +46,7 @@ from repro.metrics.psnr import psnr  # noqa: E402
 from repro.sr.runner import SRRunner  # noqa: E402
 
 from _legacy_inference import legacy_upscale_tiled  # noqa: E402
+from conftest import write_bench_json  # noqa: E402
 
 
 def _time(fn, repeats: int = 3) -> float:
@@ -241,11 +242,7 @@ def main(argv: list[str] | None = None) -> int:
             )
     report["criteria_failures"] = failures
 
-    name = "BENCH_hotpath.smoke.json" if args.smoke else "BENCH_hotpath.json"
-    out_path = REPO_ROOT / name
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
-    print(f"\nwrote {out_path}", file=sys.stderr)
+    write_bench_json("hotpath", report, smoke=args.smoke)
     if failures:
         print("CRITERIA FAILED: " + "; ".join(failures), file=sys.stderr)
         return 1

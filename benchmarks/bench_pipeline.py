@@ -1,0 +1,232 @@
+"""Pipelined-executor benchmark: sustained end-to-end FPS vs the serial loop.
+
+Runs the G3 reference session (720p modeled geometry, GameStreamSR
+client, GOP 60) through both executors and writes ``BENCH_pipeline.json``
+at the repo root. Run::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py          # full run
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke  # seconds, CI
+
+Two sustained-FPS views are reported:
+
+* **modeled** (the headline): the per-frame *modeled* server/client stage
+  times — the calibrated platform model all paper numbers come from —
+  scheduled through the depth-bounded two-stage pipeline
+  (:func:`repro.streaming.modeled_pipeline_schedule`). Deterministic and
+  host-independent; the >= 1.7x acceptance criterion is asserted here.
+* **wall**: measured wall-clock of the two executors on this host. The
+  simulation is CPU-bound in both processes, so wall-clock overlap needs
+  >= 2 cores; on a single-core host the pipelined run pays the IPC tax
+  with no overlap to win back, and the wall speedup is reported but not
+  asserted.
+
+A depth sweep documents when ``depth > 2`` helps (it absorbs the I-frame
+encode spike at each GOP head), and a ring micro-bench gives the raw
+shared-memory transfer numbers the executor builds on. Both executors'
+canonical traces are compared byte-for-byte as a bench criterion — a
+pipelined speedup that changed the stream would be meaningless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core.roi_sizing import plan_roi_window  # noqa: E402
+from repro.observability import canonicalize_session_trace  # noqa: E402
+from repro.platform.device import get_device  # noqa: E402
+from repro.render.games import build_game  # noqa: E402
+from repro.sr.pretrained import default_sr_model  # noqa: E402
+from repro.sr.runner import SRRunner  # noqa: E402
+from repro.streaming import (  # noqa: E402
+    GameStreamServer,
+    ShmRing,
+    StreamGeometry,
+    modeled_pipeline_schedule,
+    run_session,
+    run_session_pipelined,
+)
+from repro.streaming.client import GameStreamSRClient  # noqa: E402
+
+from conftest import write_bench_json  # noqa: E402
+
+DEVICE = "samsung_tab_s8"
+GAME = "G3"
+
+
+def _make_session(n_frames: int, gop_size: int):
+    """Fresh (server, client) pair for the G3 720p-modeled session."""
+    device = get_device(DEVICE)
+    plan = plan_roi_window(device)
+    runner = SRRunner(default_sr_model(profile="tiny"))
+    geometry = StreamGeometry(eval_lr_height=64, eval_lr_width=112, lr_source="native")
+    server = GameStreamServer(
+        build_game(GAME),
+        geometry,
+        roi_side=plan.side_for_frame(geometry.eval_lr_height),
+        gop_size=gop_size,
+    )
+    client = GameStreamSRClient(device, runner, modeled_roi_side=plan.side)
+    return server, client
+
+
+def _canonical(result) -> str:
+    return json.dumps(
+        canonicalize_session_trace(result.to_trace_dict()), sort_keys=True
+    )
+
+
+def _bench_sessions(n_frames: int, gop_size: int, depth: int) -> dict:
+    server, client = _make_session(n_frames, gop_size)
+    t0 = time.perf_counter()
+    serial = run_session(server, client, n_frames=n_frames)
+    serial_wall_s = time.perf_counter() - t0
+
+    server, client = _make_session(n_frames, gop_size)
+    t0 = time.perf_counter()
+    pipelined = run_session_pipelined(
+        server, client, n_frames=n_frames, depth=depth
+    )
+    pipelined_wall_s = time.perf_counter() - t0
+
+    identical = _canonical(serial) == _canonical(pipelined)
+
+    traces = serial.frame_traces()
+    sweep = {}
+    for d in (1, 2, 4, 8):
+        sched = modeled_pipeline_schedule(traces, depth=d)
+        sweep[str(d)] = {
+            "fps": round(sched.pipelined_fps, 2),
+            "speedup": round(sched.speedup, 3),
+        }
+    sched = modeled_pipeline_schedule(traces, depth=depth)
+
+    pipe_metrics = pipelined.metrics.to_dict()
+    queue_wait = pipe_metrics.get("pipeline/queue_wait_ms", {})
+    return {
+        "session": {
+            "game": GAME,
+            "device": DEVICE,
+            "design": "gamestreamsr",
+            "modeled_geometry": "1280x720 -> 2560x1440",
+            "n_frames": n_frames,
+            "gop_size": gop_size,
+            "depth": depth,
+        },
+        "byte_identical": identical,
+        "modeled": {
+            "serial_fps": round(sched.serial_fps, 2),
+            "pipelined_fps": round(sched.pipelined_fps, 2),
+            "speedup": round(sched.speedup, 3),
+            "server_busy_ms_per_frame": round(sched.server_busy_ms / n_frames, 2),
+            "client_busy_ms_per_frame": round(sched.client_busy_ms / n_frames, 2),
+            "depth_sweep": sweep,
+        },
+        "wall": {
+            "serial_fps": round(n_frames / serial_wall_s, 2),
+            "pipelined_fps": round(n_frames / pipelined_wall_s, 2),
+            "speedup": round(serial_wall_s / pipelined_wall_s, 3),
+            "serial_s": round(serial_wall_s, 3),
+            "pipelined_s": round(pipelined_wall_s, 3),
+        },
+        "pipeline_observability": {
+            "producer_stalls": pipe_metrics.get("pipeline/producer_stalls", {}).get(
+                "value"
+            ),
+            "consumer_stalls": pipe_metrics.get("pipeline/consumer_stalls", {}).get(
+                "value", 0.0
+            ),
+            "mean_queue_wait_ms": round(queue_wait.get("mean", 0.0), 3),
+        },
+    }
+
+
+def _bench_ring(iterations: int) -> dict:
+    """Raw shared-memory ring throughput (same-process push/pop pairs)."""
+    out = {}
+    for label, size in (("64KiB", 64 << 10), ("1MiB", 1 << 20)):
+        payload = b"\xa5" * size
+        ring = ShmRing(capacity=4, slot_bytes=size)
+        try:
+            t0 = time.perf_counter()
+            for i in range(iterations):
+                ring.push(payload)
+                ring.pop(i)
+            elapsed = time.perf_counter() - t0
+        finally:
+            ring.close()
+            ring.unlink()
+        out[label] = {
+            "roundtrips_per_s": round(iterations / elapsed, 1),
+            "throughput_mb_s": round(iterations * size / elapsed / 1e6, 1),
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny session, no speedup criteria (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sessions = _bench_sessions(n_frames=6, gop_size=3, depth=2)
+        ring = _bench_ring(iterations=200)
+    else:
+        sessions = _bench_sessions(n_frames=60, gop_size=60, depth=2)
+        ring = _bench_ring(iterations=2000)
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "machine": {
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+        },
+        "sessions": sessions,
+        "ring": ring,
+    }
+
+    failures = []
+    if not sessions["byte_identical"]:
+        failures.append("pipelined canonical trace differs from serial")
+    if not args.smoke:
+        # PR acceptance criteria — sustained end-to-end FPS on the G3
+        # 720p-modeled reference session at depth 2.
+        if sessions["modeled"]["speedup"] < 1.7:
+            failures.append(
+                f"modeled pipeline speedup {sessions['modeled']['speedup']}x < 1.7x"
+            )
+        if (os.cpu_count() or 1) >= 2 and sessions["wall"]["speedup"] < 1.15:
+            # Wall overlap needs a second core; single-core hosts report
+            # the number without asserting it.
+            failures.append(
+                f"wall pipeline speedup {sessions['wall']['speedup']}x < 1.15x "
+                f"on a {os.cpu_count()}-core host"
+            )
+    report["criteria_failures"] = failures
+
+    write_bench_json("pipeline", report, smoke=args.smoke)
+    if failures:
+        print("CRITERIA FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

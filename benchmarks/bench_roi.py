@@ -45,6 +45,7 @@ from repro.core.detector import RoIDetector  # noqa: E402
 from repro.core.roi_search import search_roi_scored  # noqa: E402
 from repro.render.games import GAME_BUILDERS, build_game  # noqa: E402
 
+from conftest import write_bench_json  # noqa: E402
 from _legacy_roi import (  # noqa: E402
     LegacyRoIDetector,
     legacy_preprocess_depth,
@@ -292,11 +293,7 @@ def main(argv: list[str] | None = None) -> int:
             )
     report["criteria_failures"] = failures
 
-    name = "BENCH_roi.smoke.json" if args.smoke else "BENCH_roi.json"
-    out_path = REPO_ROOT / name
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
-    print(f"\nwrote {out_path}", file=sys.stderr)
+    write_bench_json("roi", report, smoke=args.smoke)
     if failures:
         print("CRITERIA FAILED: " + "; ".join(failures), file=sys.stderr)
         return 1

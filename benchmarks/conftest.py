@@ -13,10 +13,12 @@ frame sequences; later runs are fast.
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
 REPORTS_DIR = Path(__file__).parent / "reports"
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 def emit_report(name: str, text: str) -> None:
@@ -24,3 +26,20 @@ def emit_report(name: str, text: str) -> None:
     REPORTS_DIR.mkdir(exist_ok=True)
     (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}", file=sys.stderr)
+
+
+def write_bench_json(name: str, report: dict, smoke: bool) -> Path:
+    """Write ``BENCH_<name>[.smoke].json`` at the repo root and echo it.
+
+    The single place bench reports are serialized: every report carries a
+    leading ``"smoke"`` schema marker, so tooling reading the JSON never
+    has to infer the mode from the filename (smoke numbers use tiny
+    shapes and must not be compared against full-run trajectories).
+    """
+    report = {"smoke": smoke, **report}
+    filename = f"BENCH_{name}.smoke.json" if smoke else f"BENCH_{name}.json"
+    out_path = REPO_ROOT / filename
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out_path}", file=sys.stderr)
+    return out_path

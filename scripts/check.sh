@@ -25,8 +25,10 @@ python -m repro.lint src tests scripts benchmarks
 echo "== tier-1 tests =="
 python -m pytest -q -m tier1
 
-echo "== session-pipeline smoke (REPRO_CONTRACTS=1) =="
-REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py
+echo "== session-pipeline smoke (REPRO_CONTRACTS=1, serial + pipelined) =="
+# --pipelined also streams each design through the software-pipelined
+# executor and asserts byte-identity of the canonical trace exports.
+REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py --pipelined
 
 echo "== hot-path bench (smoke) =="
 python benchmarks/bench_hotpath.py --smoke >/dev/null
@@ -39,3 +41,7 @@ echo "ok: wrote BENCH_codec.smoke.json"
 echo "== roi bench (smoke) =="
 python benchmarks/bench_roi.py --smoke >/dev/null
 echo "ok: wrote BENCH_roi.smoke.json"
+
+echo "== pipeline bench (smoke) =="
+python benchmarks/bench_pipeline.py --smoke >/dev/null
+echo "ok: wrote BENCH_pipeline.smoke.json"

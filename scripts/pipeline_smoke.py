@@ -9,7 +9,11 @@ present, one MTP network span). Exits non-zero on any violation — this is
 the check.sh gate that the stage/trace architecture stays wired end to
 end without running the heavy analysis matrices.
 
-Usage: PYTHONPATH=src python scripts/pipeline_smoke.py [--out DIR]
+With ``--pipelined`` every design is additionally streamed through the
+software-pipelined executor (``repro.streaming.pipelined``, depth 2) and
+its canonical trace export is asserted byte-identical to the serial run.
+
+Usage: PYTHONPATH=src python scripts/pipeline_smoke.py [--out DIR] [--pipelined]
 """
 
 from __future__ import annotations
@@ -78,6 +82,12 @@ def check_session(result, out_dir: Path) -> None:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=None, help="trace output dir (default: tmp)")
+    parser.add_argument(
+        "--pipelined",
+        action="store_true",
+        help="also run each design through the pipelined executor and "
+        "assert its canonical trace export is byte-identical to serial",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.roi_sizing import plan_roi_window
@@ -92,16 +102,38 @@ def main(argv=None) -> int:
     runner = SRRunner(default_sr_model(profile="tiny"))
     geometry = StreamGeometry(eval_lr_height=64, eval_lr_width=112, lr_source="native")
 
-    out_dir = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="traces-"))
-    for client, roi_side in build_clients(device, runner, plan):
-        server = GameStreamServer(
+    def make_server(roi_side):
+        return GameStreamServer(
             build_game("G3"), geometry, roi_side=roi_side, gop_size=GOP
         )
-        result = run_session(server, client, n_frames=N_FRAMES)
+
+    out_dir = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="traces-"))
+    for client, roi_side in build_clients(device, runner, plan):
+        result = run_session(make_server(roi_side), client, n_frames=N_FRAMES)
         check_session(result, out_dir)
+        suffix = ""
+        if args.pipelined:
+            from repro.observability import canonicalize_session_trace
+            from repro.streaming import run_session_pipelined
+
+            piped = run_session_pipelined(
+                make_server(roi_side), client, n_frames=N_FRAMES, depth=2
+            )
+            serial_canon = json.dumps(
+                canonicalize_session_trace(result.to_trace_dict()), sort_keys=True
+            )
+            piped_canon = json.dumps(
+                canonicalize_session_trace(piped.to_trace_dict()), sort_keys=True
+            )
+            assert piped_canon == serial_canon, (
+                f"pipelined canonical trace diverged from serial "
+                f"for {result.design}"
+            )
+            suffix = "  pipelined byte-identical"
         print(
             f"ok: {result.design:22s} mtp {result.mean_mtp().total_ms:7.2f} ms  "
             f"energy {result.mean_energy().total:7.2f} mJ  traces validated"
+            f"{suffix}"
         )
     print(f"ok: schema-validated trace exports in {out_dir}")
     return 0

@@ -18,9 +18,17 @@ __all__ = [
     "SESSION_TRACE_SCHEMA",
     "FRAME_TRACE_SCHEMA",
     "STAGE_SPAN_SCHEMA",
+    "VOLATILE_METRIC_PREFIXES",
+    "canonicalize_session_trace",
     "validate",
     "validate_session_trace",
 ]
+
+#: Metric-name prefixes whose values depend on wall-clock measurement or
+#: executor scheduling rather than the deterministic platform model.
+#: :func:`canonicalize_session_trace` strips them so serial and pipelined
+#: exports of the same session compare byte-identical.
+VOLATILE_METRIC_PREFIXES = ("stage_wall_ms/", "pipeline/")
 
 
 class SchemaError(ValueError):
@@ -134,3 +142,30 @@ SESSION_TRACE_SCHEMA: Dict[str, Any] = {
 def validate_session_trace(instance: Any) -> None:
     """Validate one session trace export against the pinned schema."""
     validate(instance, SESSION_TRACE_SCHEMA)
+
+
+def canonicalize_session_trace(instance: Dict[str, Any]) -> Dict[str, Any]:
+    """Deterministic view of a session trace export.
+
+    Returns a deep copy with every span's ``wall_ms`` zeroed and all
+    metrics under :data:`VOLATILE_METRIC_PREFIXES` removed. Everything
+    left — span names and order, ``modeled_ms``, energy attributions,
+    metadata, modeled-latency metrics — is a pure function of the session
+    configuration, so two canonicalized exports of the same session are
+    equal regardless of which executor (serial or pipelined) produced
+    them or how the host was loaded. The determinism suite and the
+    ``scripts/check.sh`` pipelined smoke compare these.
+    """
+    out = {
+        "session": dict(instance["session"]),
+        "frames": [],
+        "metrics": {},
+    }
+    for frame in instance["frames"]:
+        f = dict(frame)
+        f["spans"] = [{**span, "wall_ms": 0.0} for span in frame["spans"]]
+        out["frames"].append(f)
+    for name, metric in instance["metrics"].items():
+        if not name.startswith(VOLATILE_METRIC_PREFIXES):
+            out["metrics"][name] = metric
+    return out

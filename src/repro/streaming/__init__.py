@@ -22,6 +22,12 @@ from .pipeline import (
     TransmissionSplit,
     split_transmission,
 )
+from .pipelined import (
+    PipelineSchedule,
+    modeled_pipeline_schedule,
+    run_session_pipelined,
+)
+from .ring import DEFAULT_SLOT_BYTES, RingClosed, RingOverflow, ShmRing
 from .server import GameStreamServer
 from .session import (
     FrameRecord,
@@ -36,6 +42,7 @@ __all__ = [
     "BilinearClient",
     "CLIENT_STAGES",
     "ClientFrameResult",
+    "DEFAULT_SLOT_BYTES",
     "ENERGY_CATEGORIES",
     "EnergyAttribution",
     "FrameRecord",
@@ -46,11 +53,15 @@ __all__ = [
     "MTPBreakdown",
     "MTP_STAGES",
     "NemoClient",
+    "PipelineSchedule",
     "ROI_METADATA_BYTES",
+    "RingClosed",
+    "RingOverflow",
     "SERVER_STAGES",
     "SRIntegratedDecoderClient",
     "ServerFrame",
     "SessionResult",
+    "ShmRing",
     "Stage",
     "StageSpan",
     "StreamGeometry",
@@ -58,8 +69,10 @@ __all__ = [
     "TransmissionSplit",
     "energy_from_trace",
     "energy_of_frame",
+    "modeled_pipeline_schedule",
     "mtp_from_frame",
     "mtp_from_trace",
     "run_session",
+    "run_session_pipelined",
     "split_transmission",
 ]

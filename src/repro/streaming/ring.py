@@ -1,0 +1,288 @@
+"""Single-producer/single-consumer shared-memory ring of frame payloads.
+
+The pipelined session executor (:mod:`repro.streaming.pipelined`) moves
+encoded :class:`~repro.streaming.frames.ServerFrame` payloads from the
+server worker process to the client consumer through this ring: a fixed
+number of fixed-size slots in one ``multiprocessing.shared_memory``
+segment, coordinated by a lock-free-style index protocol with explicit
+per-slot seqlocks. No ``multiprocessing.Lock`` is ever taken on the data
+path — publication and consumption are ordered writes of 64-bit counters.
+
+Protocol
+--------
+Frame ``n`` always lands in slot ``n % capacity``; its *write epoch* is
+``w = n // capacity``. The producer:
+
+1. waits (backpressure) while ``produced - consumed >= capacity``;
+2. marks the slot's seqlock *odd* (``2*w + 1``: write in progress);
+3. copies the payload bytes + length into the slot;
+4. publishes by setting the seqlock *even* (``2*w + 2``) and bumping the
+   global ``produced`` counter.
+
+The consumer spins (with a sleep backoff) until the slot's seqlock shows
+the even epoch value it expects for frame ``n``, copies the payload out,
+re-validates the seqlock (a violation means the protocol was broken —
+the bounded ring makes overwrites impossible, so this is an assertion,
+not a recovery path), and bumps ``consumed``, freeing the slot for frame
+``n + capacity``.
+
+Because exactly one process writes each control word (producer:
+``produced``/slot seqlocks/stall counters, consumer: ``consumed``/
+``closed``) and 64-bit aligned stores are atomic on every platform
+CPython runs on, no further synchronization is needed. Stall evidence
+(backpressure wait counts and total wait time) is accumulated in the
+control block where either side can read it for observability.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import resource_tracker, shared_memory
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SLOT_BYTES",
+    "RingClosed",
+    "RingOverflow",
+    "ShmRing",
+]
+
+#: Default per-slot payload capacity (pickled ServerFrames at the eval
+#: geometries used by the benches are well under this).
+DEFAULT_SLOT_BYTES = 8 << 20
+
+#: Sleep between polls of a not-yet-ready control word. Chosen so a
+#: 60 FPS-scale pipeline loses <1% of a frame period to poll latency.
+_POLL_S = 100e-6
+
+#: Consumer polls between liveness checks of the producer process
+#: (``is_alive`` costs a syscall; once per ~20 ms is plenty).
+_ALIVE_CHECK_EVERY = 200
+
+# Control-block field indices (one u64 each).
+_F_PRODUCED = 0
+_F_CONSUMED = 1
+_F_BACKPRESSURE_WAITS = 2
+_F_BACKPRESSURE_NS = 3
+_F_CLOSED = 4
+_N_FIELDS = 8  # reserved slack for future counters
+
+_SLOT_WORDS = 2  # per-slot control words: seqlock, payload length
+
+
+class RingClosed(RuntimeError):
+    """The consumer marked the ring closed while the producer was blocked."""
+
+
+class RingOverflow(ValueError):
+    """A payload exceeded the ring's fixed slot capacity."""
+
+
+class ShmRing:
+    """Bounded SPSC ring of byte payloads in POSIX shared memory.
+
+    One process creates the ring (``create=True``, the consumer side in
+    the pipelined executor) and owns the segment's lifetime
+    (:meth:`close` + :meth:`unlink`); the peer attaches by name with
+    ``create=False`` and only ever calls :meth:`close`. Attached rings
+    are unregistered from the ``multiprocessing`` resource tracker so a
+    worker's exit cannot tear the segment down under the creator.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        name: Optional[str] = None,
+        create: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        if slot_bytes < 1:
+            raise ValueError(f"slot_bytes must be >= 1, got {slot_bytes}")
+        self.capacity = capacity
+        self.slot_bytes = slot_bytes
+        self._ctrl_words = _N_FIELDS + _SLOT_WORDS * capacity
+        self._data_offset = 8 * self._ctrl_words
+        size = self._data_offset + capacity * slot_bytes
+        if create:
+            self._shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        else:
+            if name is None:
+                raise ValueError("attaching to a ring requires its name")
+            self._shm = shared_memory.SharedMemory(name=name, create=False)
+            # The tracker would unlink the segment when *this* process
+            # exits; only the creator may do that.
+            resource_tracker.unregister(self._shm._name, "shared_memory")  # noqa: SLF001
+        self._owner = create
+        self._ctrl: Optional[np.ndarray] = np.ndarray(
+            (self._ctrl_words,), dtype=np.uint64, buffer=self._shm.buf
+        )
+        self._data: Optional[np.ndarray] = np.ndarray(
+            (size - self._data_offset,),
+            dtype=np.uint8,
+            buffer=self._shm.buf,
+            offset=self._data_offset,
+        )
+        if create:
+            self._ctrl[:] = 0
+
+    # -- identity / lifetime ---------------------------------------------
+    @property
+    def name(self) -> str:
+        """Segment name a peer process attaches with."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self._ctrl = None
+        self._data = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; idempotent)."""
+        # Under the fork start method the attaching peer shares this
+        # process's resource tracker, so its attach-side unregister (see
+        # __init__) removed our registration too; re-register first so
+        # unlink()'s own unregister finds the entry instead of logging a
+        # KeyError in the tracker process.
+        resource_tracker.register(self._shm._name, "shared_memory")  # noqa: SLF001
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def mark_closed(self) -> None:
+        """Consumer-side shutdown signal: unblocks a backpressured push."""
+        assert self._ctrl is not None
+        self._ctrl[_F_CLOSED] = 1
+
+    # -- counters ---------------------------------------------------------
+    @property
+    def produced(self) -> int:
+        assert self._ctrl is not None
+        return int(self._ctrl[_F_PRODUCED])
+
+    @property
+    def consumed(self) -> int:
+        assert self._ctrl is not None
+        return int(self._ctrl[_F_CONSUMED])
+
+    @property
+    def occupancy(self) -> int:
+        """Frames currently published but not yet consumed."""
+        return self.produced - self.consumed
+
+    @property
+    def backpressure_waits(self) -> int:
+        """Pushes that found the ring full and had to wait."""
+        assert self._ctrl is not None
+        return int(self._ctrl[_F_BACKPRESSURE_WAITS])
+
+    @property
+    def backpressure_wait_ms(self) -> float:
+        """Total time the producer spent blocked on a full ring."""
+        assert self._ctrl is not None
+        return int(self._ctrl[_F_BACKPRESSURE_NS]) / 1e6
+
+    def _slot_seq(self, slot: int) -> int:
+        assert self._ctrl is not None
+        return int(self._ctrl[_N_FIELDS + _SLOT_WORDS * slot])
+
+    def ready(self, index: int) -> bool:
+        """Whether frame ``index`` is already published (non-blocking)."""
+        expected = 2 * (index // self.capacity) + 2
+        return self._slot_seq(index % self.capacity) == expected
+
+    # -- producer side -----------------------------------------------------
+    def push(self, payload: bytes, timeout_s: Optional[float] = None) -> None:
+        """Publish the next frame payload, blocking while the ring is full.
+
+        Raises :class:`RingOverflow` for payloads larger than a slot,
+        :class:`RingClosed` if the consumer shut the ring down mid-wait,
+        and ``TimeoutError`` after ``timeout_s`` of backpressure.
+        """
+        ctrl = self._ctrl
+        assert ctrl is not None and self._data is not None
+        n = len(payload)
+        if n > self.slot_bytes:
+            raise RingOverflow(
+                f"payload of {n} bytes exceeds the ring slot size "
+                f"{self.slot_bytes}; raise slot_bytes"
+            )
+        index = int(ctrl[_F_PRODUCED])
+        deadline = None if timeout_s is None else time.perf_counter() + timeout_s
+        waited_from: Optional[float] = None
+        try:
+            while index - int(ctrl[_F_CONSUMED]) >= self.capacity:
+                if int(ctrl[_F_CLOSED]):
+                    raise RingClosed("consumer closed the ring")
+                if waited_from is None:
+                    waited_from = time.perf_counter()
+                    ctrl[_F_BACKPRESSURE_WAITS] += np.uint64(1)
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise TimeoutError(
+                        f"ring full for {timeout_s} s (capacity {self.capacity})"
+                    )
+                time.sleep(_POLL_S)
+        finally:
+            # Accumulate on every exit path: a timed-out or closed-out
+            # wait is still producer stall time the observability layer
+            # must see.
+            if waited_from is not None:
+                waited_ns = int((time.perf_counter() - waited_from) * 1e9)
+                ctrl[_F_BACKPRESSURE_NS] += np.uint64(waited_ns)
+        slot = index % self.capacity
+        epoch = index // self.capacity
+        base = _N_FIELDS + _SLOT_WORDS * slot
+        ctrl[base] = np.uint64(2 * epoch + 1)  # seqlock odd: write in progress
+        off = slot * self.slot_bytes
+        self._data[off : off + n] = np.frombuffer(payload, dtype=np.uint8)
+        ctrl[base + 1] = np.uint64(n)
+        ctrl[base] = np.uint64(2 * epoch + 2)  # seqlock even: published
+        ctrl[_F_PRODUCED] = np.uint64(index + 1)
+
+    # -- consumer side -----------------------------------------------------
+    def pop(
+        self,
+        index: int,
+        alive: Optional[Callable[[], bool]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Optional[bytes]:
+        """Copy frame ``index`` out of the ring, blocking until published.
+
+        ``alive`` (when given) is polled while waiting; if it reports the
+        producer dead and the frame still is not published, ``None`` is
+        returned — the truncation signal the executor turns into a
+        truncated-but-valid session. Raises ``TimeoutError`` after
+        ``timeout_s``.
+        """
+        ctrl = self._ctrl
+        assert ctrl is not None and self._data is not None
+        slot = index % self.capacity
+        epoch = index // self.capacity
+        expected = 2 * epoch + 2
+        base = _N_FIELDS + _SLOT_WORDS * slot
+        deadline = None if timeout_s is None else time.perf_counter() + timeout_s
+        polls = 0
+        while int(ctrl[base]) != expected:
+            polls += 1
+            if alive is not None and polls % _ALIVE_CHECK_EVERY == 0 and not alive():
+                if int(ctrl[base]) == expected:
+                    break  # published in the instant before death
+                return None
+            if deadline is not None and time.perf_counter() > deadline:
+                raise TimeoutError(f"frame {index} not published within {timeout_s} s")
+            time.sleep(_POLL_S)
+        n = int(ctrl[base + 1])
+        off = slot * self.slot_bytes
+        out = bytes(self._data[off : off + n])
+        if int(ctrl[base]) != expected:  # seqlock re-validation
+            raise RuntimeError(
+                f"seqlock violated on slot {slot} while reading frame {index}: "
+                "producer overwrote an unconsumed slot"
+            )
+        ctrl[_F_CONSUMED] = np.uint64(index + 1)
+        return out

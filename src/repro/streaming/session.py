@@ -39,12 +39,12 @@ from ..network.link import NetworkLink
 from ..observability import MetricsRegistry, observe_frame_trace
 from ..platform import calibration as cal
 from ..platform.device import DeviceProfile
-from ..platform.energy import EnergyBreakdown, overhead_mj, stage_energy_mj
+from ..platform.energy import Component, EnergyBreakdown, overhead_mj, stage_energy_mj
 from .adaptive import AdaptiveRoIController
 from .client import StreamingClient
 from .frames import ClientFrameResult, ServerFrame, StreamGeometry
 from .mtp import MTPBreakdown, mtp_from_frame
-from .pipeline import FrameTrace
+from .pipeline import FrameTrace, split_transmission
 from .server import GameStreamServer
 
 __all__ = [
@@ -277,6 +277,21 @@ def _transport_stage(
     return outcome.dropped, outcome.n_retransmissions
 
 
+def _adaptive_eval_side(
+    adaptive: AdaptiveRoIController, geometry: StreamGeometry
+) -> int:
+    """The controller's window side rescaled to the eval geometry.
+
+    The controller plans on the modeled geometry (the paper's 720p frame);
+    the server detects on the eval frame, so the side is rescaled by frame
+    height exactly like ``RoIWindowPlan.side_for_frame`` does.
+    """
+    eval_side = int(
+        round(adaptive.side * geometry.eval_lr_height / geometry.modeled_lr_height)
+    )
+    return max(2, min(eval_side, geometry.eval_lr_height))
+
+
 def _apply_adaptive_side(
     server: GameStreamServer,
     client: StreamingClient,
@@ -285,19 +300,140 @@ def _apply_adaptive_side(
 ) -> None:
     """Push the controller's (modeled-scale) window side into the pipeline.
 
-    The controller plans on the modeled geometry (the paper's 720p frame);
-    the server detects on the eval frame, so the side is rescaled by frame
-    height exactly like ``RoIWindowPlan.side_for_frame`` does. A client
-    with a pinned ``modeled_roi_side`` follows the controller directly.
+    A client with a pinned ``modeled_roi_side`` follows the controller
+    directly. The pipelined executor splits this into its two halves —
+    the server side crosses the process boundary via the feedback
+    channel, the client pin stays with the consumer.
     """
-    eval_side = int(
-        round(adaptive.side * geometry.eval_lr_height / geometry.modeled_lr_height)
-    )
-    eval_side = max(2, min(eval_side, geometry.eval_lr_height))
     if server.detector is not None:
-        server.set_roi_side(eval_side)
+        server.set_roi_side(_adaptive_eval_side(adaptive, geometry))
     if getattr(client, "modeled_roi_side", None) is not None:
         client.modeled_roi_side = adaptive.side
+
+
+def _skipped_client_result(frame: ServerFrame, reason: str) -> ClientFrameResult:
+    """The client-side record of a skipped (never decoded) frame.
+
+    With ``skip_dropped`` enabled the client never decodes or upscales a
+    frame the transport declared lost (``reason="transport_drop"``) or a
+    P-frame whose reference chain a skipped frame broke
+    (``reason="reference_lost"``): the RX radio window was still spent
+    (the bytes arrived, the deadline did not hold), so the network span
+    keeps its energy attribution, while decode/upscale/display are
+    recorded as zeroed spans tagged ``skipped`` — the "zeroed upscale
+    span" consumers can aggregate without special-casing. The display
+    keeps showing the previous frame; the placeholder HR output is black
+    and is excluded from quality scoring by the session loop.
+    """
+    geometry = frame.geometry
+    trace = FrameTrace(index=frame.index, frame_type=frame.encoded.frame_type)
+    with trace.stage("network", mtp=False) as st:
+        split = split_transmission(frame.modeled_size_bytes)
+        st.modeled_ms = split.serialization_ms
+        st.add_energy(Component.NETWORK_RX, split.serialization_ms)
+        st.meta(modeled_bytes=frame.modeled_size_bytes)
+    for name in ("decode", "upscale", "display"):
+        trace.add_span(name, 0.0, skipped=True, reason=reason)
+    hr = np.zeros(
+        (
+            geometry.eval_lr_height * geometry.scale,
+            geometry.eval_lr_width * geometry.scale,
+            3,
+        ),
+        dtype=np.float64,
+    )
+    return ClientFrameResult(
+        index=frame.index,
+        frame_type=frame.encoded.frame_type,
+        hr_frame=hr,
+        client_timings_ms=trace.timings_ms(("decode", "upscale", "display")),
+        energy_stages=trace.energy_stages(),
+        trace=trace,
+    )
+
+
+def _consume_frame(
+    server_frame: ServerFrame,
+    client: StreamingClient,
+    metrics: MetricsRegistry,
+    *,
+    link: Optional[NetworkLink],
+    link_deadline_ms: float,
+    adaptive: Optional[AdaptiveRoIController],
+    evaluate_quality: bool,
+    with_lpips: bool,
+    lpips_stride: int,
+    hr_fn: Optional[Callable[[int], np.ndarray]],
+    skip_dropped: bool,
+    skip_state: Optional[Dict[str, bool]] = None,
+) -> FrameRecord:
+    """Run the client half of the pipeline on one produced server frame.
+
+    This is the single consumer implementation shared by the serial
+    :func:`run_session` loop and the pipelined executor
+    (:func:`repro.streaming.pipelined.run_session_pipelined`) — both
+    paths execute byte-for-byte the same transport, decode/SR, adaptive
+    observation, quality scoring, and trace/energy assembly, which is
+    what makes the cross-executor determinism guarantee hold by
+    construction.
+    """
+    dropped, retransmissions = False, 0
+    if link is not None:
+        dropped, retransmissions = _transport_stage(
+            server_frame, link, link_deadline_ms
+        )
+
+    # A skipped frame breaks the decoder's reference chain: every later
+    # P-frame is undecodable (its reference is missing or stale) until a
+    # delivered I-frame resets the decoder. ``skip_state`` carries that
+    # one bit of GOP state between consecutive _consume_frame calls.
+    skipped, skip_reason = False, ""
+    if skip_dropped:
+        broken = skip_state is not None and skip_state.get("reference_broken", False)
+        if dropped:
+            skipped, skip_reason = True, "transport_drop"
+        elif broken and server_frame.encoded.frame_type == "P":
+            skipped, skip_reason = True, "reference_lost"
+        if skip_state is not None:
+            skip_state["reference_broken"] = skipped
+    if skipped:
+        client_result = _skipped_client_result(server_frame, skip_reason)
+    else:
+        client_result = client.process(server_frame)
+        if adaptive is not None:
+            adaptive.observe(client_result.upscale_ms)
+
+    psnr_db = lpips_val = None
+    if evaluate_quality and not skipped:
+        assert hr_fn is not None, "quality evaluation requires an HR source"
+        reference = hr_fn(server_frame.index)
+        psnr_db = psnr_metric(reference, client_result.hr_frame)
+        if with_lpips and server_frame.index % lpips_stride == 0:
+            lpips_val = lpips_metric(reference, client_result.hr_frame)
+
+    trace = None
+    if server_frame.trace is not None and client_result.trace is not None:
+        trace = server_frame.trace.extend(client_result.trace)
+        observe_frame_trace(metrics, trace)
+
+    energy = (
+        energy_from_trace(client.device, trace)
+        if trace is not None
+        else energy_of_frame(client.device, client_result)
+    )
+    return FrameRecord(
+        index=server_frame.index,
+        frame_type=client_result.frame_type,
+        upscale_ms=client_result.upscale_ms,
+        mtp=mtp_from_frame(server_frame, client_result),
+        energy=energy,
+        modeled_size_bytes=server_frame.modeled_size_bytes,
+        psnr_db=psnr_db,
+        lpips=lpips_val,
+        dropped=dropped,
+        network_retransmissions=retransmissions,
+        trace=trace,
+    )
 
 
 def run_session(
@@ -311,6 +447,7 @@ def run_session(
     link: Optional[NetworkLink] = None,
     link_deadline_ms: float = float("inf"),
     adaptive: Optional[AdaptiveRoIController] = None,
+    skip_dropped: bool = False,
 ) -> SessionResult:
     """Stream ``n_frames`` through ``server`` -> ``client`` and aggregate.
 
@@ -326,6 +463,17 @@ def run_session(
     flagged dropped); ``adaptive`` closes the RoI-sizing loop from
     measured upscale spans. Both default off, keeping the paper's static
     configuration numerically identical to the pre-staged pipeline.
+
+    ``skip_dropped`` (default off) short-circuits the client for frames
+    the transport dropped: no decode/SR work runs, a zeroed upscale span
+    is recorded instead, the frame is excluded from quality scoring, and
+    the adaptive controller never observes it. Because a skipped frame
+    breaks the decoder's reference chain, subsequent P-frames are
+    skipped too (tagged ``reason="reference_lost"``) until the next
+    delivered I-frame resets the decoder — decoding them against a
+    missing or stale reference would crash or silently corrupt. With the
+    default ``False`` the client still processes dropped frames in full
+    — the historical behavior, pinned by the regression tests.
     """
     if n_frames < 1:
         raise ValueError(f"n_frames must be >= 1, got {n_frames}")
@@ -341,56 +489,28 @@ def run_session(
         gop_size=server.gop_size,
         metrics=metrics,
     )
+    hr_fn = hr_reference_fn if hr_reference_fn is not None else server.render_hr_reference
+    skip_state = {"reference_broken": False}
     for _ in range(n_frames):
         if adaptive is not None:
             _apply_adaptive_side(server, client, adaptive, server.geometry)
 
         server_frame: ServerFrame = server.next_frame()
 
-        dropped, retransmissions = False, 0
-        if link is not None:
-            dropped, retransmissions = _transport_stage(
-                server_frame, link, link_deadline_ms
-            )
-
-        client_result = client.process(server_frame)
-
-        if adaptive is not None:
-            adaptive.observe(client_result.upscale_ms)
-
-        psnr_db = lpips_val = None
-        if evaluate_quality:
-            if hr_reference_fn is not None:
-                reference = hr_reference_fn(server_frame.index)
-            else:
-                reference = server.render_hr_reference(server_frame.index)
-            psnr_db = psnr_metric(reference, client_result.hr_frame)
-            if with_lpips and server_frame.index % lpips_stride == 0:
-                lpips_val = lpips_metric(reference, client_result.hr_frame)
-
-        trace = None
-        if server_frame.trace is not None and client_result.trace is not None:
-            trace = server_frame.trace.extend(client_result.trace)
-            observe_frame_trace(metrics, trace)
-
-        energy = (
-            energy_from_trace(client.device, trace)
-            if trace is not None
-            else energy_of_frame(client.device, client_result)
-        )
         result.records.append(
-            FrameRecord(
-                index=server_frame.index,
-                frame_type=client_result.frame_type,
-                upscale_ms=client_result.upscale_ms,
-                mtp=mtp_from_frame(server_frame, client_result),
-                energy=energy,
-                modeled_size_bytes=server_frame.modeled_size_bytes,
-                psnr_db=psnr_db,
-                lpips=lpips_val,
-                dropped=dropped,
-                network_retransmissions=retransmissions,
-                trace=trace,
+            _consume_frame(
+                server_frame,
+                client,
+                metrics,
+                link=link,
+                link_deadline_ms=link_deadline_ms,
+                adaptive=adaptive,
+                evaluate_quality=evaluate_quality,
+                with_lpips=with_lpips,
+                lpips_stride=lpips_stride,
+                hr_fn=hr_fn if evaluate_quality else None,
+                skip_dropped=skip_dropped,
+                skip_state=skip_state,
             )
         )
     return result

@@ -133,6 +133,63 @@ class TestNondeterminism:
         src = "import time\nt = time.time()\n"
         assert lint(make_module(src, name="repro.analysis.fixture"), self.RULE).ok
 
+    def test_worker_entry_point_flagged_outside_hot_packages(self, lint):
+        """Process targets are checked everywhere: wall-clock or unseeded
+        RNG inside a worker silently breaks cross-process determinism."""
+        src = (
+            "import time\n"
+            "import multiprocessing as mp\n"
+            "def _worker(conn):\n"
+            "    t = time.time()\n"
+            "def launch():\n"
+            "    mp.Process(target=_worker).start()\n"
+        )
+        result = lint(make_module(src, name="repro.analysis.fixture"), self.RULE)
+        assert rules(result) == ["nondeterminism"]
+        assert [f.line for f in result.new] == [4]
+        assert "worker entry point" in result.new[0].message
+
+    def test_worker_entry_unseeded_rng_flagged(self, lint):
+        src = (
+            "import numpy as np\n"
+            "from multiprocessing import Process\n"
+            "def _gen():\n"
+            "    return np.random.default_rng()\n"
+            "p = Process(target=_gen)\n"
+        )
+        result = lint(make_module(src, name="repro.streaming.fixture"), self.RULE)
+        assert [f.line for f in result.new] == [4]
+
+    def test_non_entry_function_still_ignored(self, lint):
+        """Spawning a process does not make *every* function a worker:
+        only the dispatched targets are held to the worker rules."""
+        src = (
+            "import time\n"
+            "import multiprocessing as mp\n"
+            "def _worker(conn):\n"
+            "    pass\n"
+            "def helper():\n"
+            "    return time.time()\n"
+            "def launch():\n"
+            "    mp.Process(target=_worker).start()\n"
+        )
+        assert lint(make_module(src, name="repro.analysis.fixture"), self.RULE).ok
+
+    def test_partial_wrapped_dispatch_flagged(self, lint):
+        """partial(f, ...) passed to an executor resolves to f."""
+        src = (
+            "import time\n"
+            "from functools import partial\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def _stage(flag, item):\n"
+            "    return time.time()\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(partial(_stage, True), items))\n"
+        )
+        result = lint(make_module(src, name="repro.analysis.fixture"), self.RULE)
+        assert [f.line for f in result.new] == [5]
+
 
 class TestImportHygiene:
     RULE = ("import-hygiene",)

@@ -115,6 +115,139 @@ class TestLossyLinkSession:
             assert record.network_retransmissions == 0
 
 
+def _is_skipped(record):
+    return record.trace.span("upscale").metadata.get("skipped", False)
+
+
+def _canon_trace(trace):
+    """Frame-trace dict with the (nondeterministic) wall clock zeroed."""
+    d = trace.to_dict()
+    d["spans"] = [{**span, "wall_ms": 0.0} for span in d["spans"]]
+    return d
+
+
+class TestSkipDropped:
+    """Regression pins for the ``skip_dropped=`` knob of ``run_session``.
+
+    The seeded lossy link at GOP 3 / 80 ms deadline yields a
+    deterministic mix: transport-dropped frames (0, 4), P-frames skipped
+    on the broken reference chain (1, 2, 5), and a delivered I-frame (3)
+    that heals the chain and is processed in full.
+    """
+
+    LINK_KW = dict(bandwidth_mbps=20.0, propagation_ms=8.0, loss_rate=0.3, seed=7)
+    DEADLINE_MS = 80.0
+    GOP = 3
+
+    def _run(self, **kwargs):
+        device = get_device("samsung_tab_s8")
+        return run_session(
+            _server(None, gop=self.GOP),
+            BilinearClient(device),
+            n_frames=N_FRAMES,
+            link=NetworkLink(**self.LINK_KW),
+            link_deadline_ms=self.DEADLINE_MS,
+            **kwargs,
+        )
+
+    def test_default_still_processes_dropped_frames(self):
+        """skip_dropped defaults off: dropped frames are decoded and
+        upscaled in full — the historical behavior, pinned here."""
+        result = self._run()
+        dropped = [r for r in result.records if r.dropped]
+        assert dropped, "seed must produce at least one drop"
+        assert len(dropped) < N_FRAMES, "seed must deliver at least one frame"
+        for record in result.records:
+            assert record.upscale_ms > 0.0
+            for name in ("decode", "upscale", "display"):
+                assert "skipped" not in record.trace.span(name).metadata
+
+    def test_skip_dropped_zeroes_client_spans(self):
+        result = self._run(skip_dropped=True)
+        skipped = [r for r in result.records if _is_skipped(r)]
+        assert skipped
+        reasons = set()
+        for record in skipped:
+            assert record.upscale_ms == 0.0
+            for name in ("decode", "upscale", "display"):
+                span = record.trace.span(name)
+                assert span.modeled_ms == 0.0
+                assert span.metadata["skipped"] is True
+                reasons.add(span.metadata["reason"])
+            # The RX radio window was still spent: network energy stays,
+            # decode/upscale energy is zero.
+            assert record.energy.network > 0.0
+            assert record.energy.decode == 0.0
+            assert record.energy.upscale == 0.0
+        # Both skip causes occur: deadline misses and the broken chain.
+        assert reasons == {"transport_drop", "reference_lost"}
+
+    def test_reference_chain_cascades_and_heals_at_i_frame(self):
+        """A skipped frame makes later P-frames undecodable (their
+        reference is missing or stale) until a delivered I-frame resets
+        the decoder."""
+        result = self._run(skip_dropped=True)
+        reason = {
+            r.index: r.trace.span("upscale").metadata.get("reason")
+            for r in result.records
+        }
+        dropped = {r.index for r in result.records if r.dropped}
+        assert dropped == {0, 4}
+        assert reason[0] == reason[4] == "transport_drop"
+        assert reason[1] == reason[2] == reason[5] == "reference_lost"
+        # Frame 3 opens a new GOP: delivered I-frame, processed in full.
+        assert result.records[3].frame_type == "I"
+        assert reason[3] is None
+        assert result.records[3].upscale_ms > 0.0
+
+    def test_skip_dropped_leaves_processed_frames_untouched(self):
+        """Frames the skip run still processes are byte-identical to the
+        default run (the healing I-frame resets decoder state)."""
+        base = self._run()
+        skip = self._run(skip_dropped=True)
+        processed = [r for r in skip.records if not _is_skipped(r)]
+        assert processed
+        for b in processed:
+            a = base.records[b.index]
+            assert a.dropped == b.dropped
+            assert _canon_trace(a.trace) == _canon_trace(b.trace)
+            assert a.mtp.total_ms == b.mtp.total_ms
+            assert a.energy == b.energy
+
+    def test_skip_dropped_excludes_frames_from_quality(self):
+        result = self._run(skip_dropped=True, evaluate_quality=True)
+        assert any(not _is_skipped(r) for r in result.records)
+        for record in result.records:
+            if _is_skipped(record):
+                assert record.psnr_db is None
+            else:
+                assert record.psnr_db is not None
+
+    def test_skip_dropped_hides_frames_from_adaptive_controller(self):
+        """The controller never observes a zeroed upscale span — a skipped
+        frame must not be mistaken for a fast one and grow the window."""
+        device = get_device("samsung_tab_s8")
+        plan = plan_roi_window(device)
+        from repro.analysis.experiments import default_runner
+
+        controller = AdaptiveRoIController(
+            initial_side=plan.side, min_side=plan.min_side, max_side=720
+        )
+        client = GameStreamSRClient(device, default_runner(), modeled_roi_side=plan.side)
+        result = run_session(
+            _server(plan.side_for_frame(64), gop=self.GOP),
+            client,
+            n_frames=N_FRAMES,
+            link=NetworkLink(**self.LINK_KW),
+            link_deadline_ms=self.DEADLINE_MS,
+            adaptive=controller,
+            skip_dropped=True,
+        )
+        n_skipped = sum(1 for r in result.records if _is_skipped(r))
+        assert 0 < n_skipped < N_FRAMES
+        assert len(controller._history) == N_FRAMES - n_skipped
+
+
 class TestAdaptiveSession:
     def test_controller_shrinks_roi_when_over_deadline(self):
         """Pin an oversized RoI so upscale blows the 16.66 ms budget: the
