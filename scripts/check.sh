@@ -30,6 +30,11 @@ echo "== session-pipeline smoke (REPRO_CONTRACTS=1, serial + pipelined) =="
 # executor and asserts byte-identity of the canonical trace exports.
 REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py --pipelined
 
+echo "== GOP-reuse smoke (REPRO_CONTRACTS=1, serial + pipelined) =="
+# Streams the reuse-capable designs with gop_reuse=True: contract-checked
+# warp/mask/composite seams plus pipelined byte-identity of reuse traces.
+REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py --pipelined --gop-reuse
+
 echo "== hot-path bench (smoke) =="
 python benchmarks/bench_hotpath.py --smoke >/dev/null
 echo "ok: wrote BENCH_hotpath.smoke.json"
@@ -45,3 +50,7 @@ echo "ok: wrote BENCH_roi.smoke.json"
 echo "== pipeline bench (smoke) =="
 python benchmarks/bench_pipeline.py --smoke >/dev/null
 echo "ok: wrote BENCH_pipeline.smoke.json"
+
+echo "== GOP-reuse bench (smoke) =="
+python benchmarks/bench_gopsr.py --smoke >/dev/null
+echo "ok: wrote BENCH_gopsr.smoke.json"

@@ -34,7 +34,7 @@ N_FRAMES = 5
 GOP = 4  # both reference and dependent frames inside 5 streamed frames
 
 
-def build_clients(device, runner, plan):
+def build_clients(device, runner, plan, gop_reuse=False):
     from repro.streaming import (
         BilinearClient,
         FullFrameSRClient,
@@ -44,6 +44,13 @@ def build_clients(device, runner, plan):
     )
 
     roi_eval = plan.side_for_frame(64)
+    if gop_reuse:
+        # Only the designs with a GOP-reuse path; run_session flips the
+        # knob on via gop_reuse=True, exercising _require_gop_reuse too.
+        return [
+            (GameStreamSRClient(device, runner, modeled_roi_side=plan.side), roi_eval),
+            (SRIntegratedDecoderClient(device, runner), roi_eval),
+        ]
     return [
         (GameStreamSRClient(device, runner, modeled_roi_side=plan.side), roi_eval),
         (NemoClient(device, runner), None),
@@ -88,6 +95,12 @@ def main(argv=None) -> int:
         help="also run each design through the pipelined executor and "
         "assert its canonical trace export is byte-identical to serial",
     )
+    parser.add_argument(
+        "--gop-reuse",
+        action="store_true",
+        help="smoke only the GOP-reuse designs with gop_reuse=True "
+        "(warp-and-refresh SR cache) instead of the default matrix",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.roi_sizing import plan_roi_window
@@ -108,16 +121,29 @@ def main(argv=None) -> int:
         )
 
     out_dir = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="traces-"))
-    for client, roi_side in build_clients(device, runner, plan):
-        result = run_session(make_server(roi_side), client, n_frames=N_FRAMES)
+    for client, roi_side in build_clients(device, runner, plan, args.gop_reuse):
+        result = run_session(
+            make_server(roi_side), client, n_frames=N_FRAMES,
+            gop_reuse=args.gop_reuse,
+        )
         check_session(result, out_dir)
+        if args.gop_reuse:
+            # Every frame of a reuse run carries the reuse decision record.
+            assert result.metrics.counter("sr.reuse/frames").value == N_FRAMES, (
+                f"sr.reuse/frames not recorded for {result.design}"
+            )
+            # Frame 0 is an I-frame: the cache must log a refresh for it.
+            assert result.metrics.counter("sr.reuse/refreshes").value >= 1, (
+                f"no sr.reuse refresh recorded for {result.design}"
+            )
         suffix = ""
         if args.pipelined:
             from repro.observability import canonicalize_session_trace
             from repro.streaming import run_session_pipelined
 
             piped = run_session_pipelined(
-                make_server(roi_side), client, n_frames=N_FRAMES, depth=2
+                make_server(roi_side), client, n_frames=N_FRAMES, depth=2,
+                gop_reuse=args.gop_reuse,
             )
             serial_canon = json.dumps(
                 canonicalize_session_trace(result.to_trace_dict()), sort_keys=True

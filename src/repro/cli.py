@@ -99,16 +99,22 @@ def _cmd_stream(args: argparse.Namespace) -> int:
          plan.side_for_frame(64)),
         ("nemo", NemoClient(device, runner), None),
     ):
+        # GOP reuse is a GameStreamSR-design knob; NEMO's codec-guided
+        # reconstruction already reuses the previous HR frame.
+        gop_reuse = args.gop_reuse and hasattr(client, "gop_reuse")
         server = GameStreamServer(
             build_game(args.game), geometry, roi_side=roi, gop_size=args.frames
         )
         if args.pipelined:
             result = run_session_pipelined(
                 server, client, n_frames=args.frames,
+                gop_reuse=gop_reuse,
                 depth=args.depth, workers=args.workers,
             )
         else:
-            result = run_session(server, client, n_frames=args.frames)
+            result = run_session(
+                server, client, n_frames=args.frames, gop_reuse=gop_reuse
+            )
         print(
             f"{label:14s} ref {result.mean_upscale_ms(True):7.1f} ms | "
             f"non-ref {result.mean_upscale_ms(False):6.2f} ms | "
@@ -169,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--workers", type=int, default=1,
         help="server-side processes; >1 adds a render-prefetch pool (with --pipelined)",
+    )
+    stream.add_argument(
+        "--gop-reuse",
+        action="store_true",
+        help="warp-and-refresh SR reuse across the GOP for designs that "
+        "support it (re-runs the DNN only on residual-dirty tiles)",
     )
     stream.add_argument(
         "--trace-json",

@@ -9,6 +9,7 @@ from .color import rgb_to_ycbcr, subsample_chroma, upsample_chroma, ycbcr_to_rgb
 from .decoder import DecodedFrame, VideoDecoder
 from .encoder import EncodedFrame, VideoEncoder
 from .motion import compensate, estimate_motion, upscale_motion_vectors
+from .residual import block_energy, block_pixel_counts
 from .transform import dequantize, forward_dct, inverse_dct, quant_matrix, quantize
 
 __all__ = [
@@ -16,7 +17,9 @@ __all__ = [
     "EncodedFrame",
     "VideoDecoder",
     "VideoEncoder",
+    "block_energy",
     "block_grid_shape",
+    "block_pixel_counts",
     "compensate",
     "dequantize",
     "estimate_motion",

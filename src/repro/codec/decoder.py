@@ -11,8 +11,7 @@ decoder in the first place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,28 +22,90 @@ from .color import upsample_chroma, ycbcr_to_rgb
 from .encoder import PIXEL_SCALE, EncodedFrame
 from .entropy import decode_blocks, read_exp_golomb_array, unsigned_to_signed_array
 from .motion import compensate
+from .residual import block_energy
 from .transform import dequantize, inverse_dct
 
 __all__ = ["DecodedFrame", "VideoDecoder"]
 
 
-@dataclass(frozen=True)
 class DecodedFrame:
-    """A reconstructed frame plus the codec internals used to build it."""
+    """A reconstructed frame plus the codec internals used to build it.
 
-    rgb: np.ndarray  # (H, W, 3) in [0, 1]
-    frame_type: str  # "I" or "P"
-    #: Luma-grid motion vectors (nby, nbx, 2); None for I-frames.
-    motion_vectors: Optional[np.ndarray] = field(default=None, repr=False)
-    #: RGB-space decoded residual (current minus motion-compensated
-    #: prediction); None for I-frames.
-    residual_rgb: Optional[np.ndarray] = field(default=None, repr=False)
-    #: RGB-space motion-compensated prediction; None for I-frames.
-    prediction_rgb: Optional[np.ndarray] = field(default=None, repr=False)
+    ``prediction_rgb`` / ``residual_rgb`` are **lazy**: the decoder stores
+    the motion-compensated prediction planes and the RGB conversion +
+    subtraction run on first property access (then cache). Most client
+    designs never read them (only NEMO's reconstruction and the GOP-reuse
+    paths do), so the default decode loop skips two full chroma-upsampled
+    color conversions per P-frame; the values, when read, are computed by
+    the exact expressions the eager decoder used, so existing consumers
+    see byte-identical arrays.
+    """
+
+    __slots__ = (
+        "rgb",
+        "frame_type",
+        "motion_vectors",
+        "_pred_planes",
+        "_prediction_rgb",
+        "_residual_rgb",
+        "_residual_block_energy",
+    )
+
+    def __init__(
+        self,
+        rgb: np.ndarray,  # (H, W, 3) in [0, 1]
+        frame_type: str,  # "I" or "P"
+        motion_vectors: Optional[np.ndarray] = None,
+        pred_planes: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        self.rgb = rgb
+        self.frame_type = frame_type
+        #: Luma-grid motion vectors (nby, nbx, 2); None for I-frames.
+        self.motion_vectors = motion_vectors
+        self._pred_planes = pred_planes
+        self._prediction_rgb: Optional[np.ndarray] = None
+        self._residual_rgb: Optional[np.ndarray] = None
+        self._residual_block_energy: Dict[int, np.ndarray] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodedFrame(frame_type={self.frame_type!r}, "
+            f"shape={tuple(self.rgb.shape)})"
+        )
 
     @property
     def is_reference(self) -> bool:
         return self.frame_type == "I"
+
+    @property
+    def prediction_rgb(self) -> Optional[np.ndarray]:
+        """RGB-space motion-compensated prediction; None for I-frames."""
+        if self._prediction_rgb is None and self._pred_planes is not None:
+            self._prediction_rgb = _planes_to_rgb(*self._pred_planes)
+        return self._prediction_rgb
+
+    @property
+    def residual_rgb(self) -> Optional[np.ndarray]:
+        """RGB-space decoded residual (current minus motion-compensated
+        prediction); None for I-frames."""
+        if self._residual_rgb is None and self._pred_planes is not None:
+            self._residual_rgb = self.rgb - self.prediction_rgb
+        return self._residual_rgb
+
+    def residual_block_energy(self, block: int) -> Optional[np.ndarray]:
+        """Per-block sum of squared RGB residual, cached per block size.
+
+        The shared residual-energy summary (see :mod:`repro.codec.residual`)
+        both the GOP-reuse dirty mask and the SR-integrated decoder's
+        RoI-guided residual path consume; None for I-frames.
+        """
+        if self.residual_rgb is None:
+            return None
+        if block not in self._residual_block_energy:
+            self._residual_block_energy[block] = block_energy(
+                self._residual_rgb, block
+            )
+        return self._residual_block_energy[block]
 
 
 def _decode_plane(
@@ -124,14 +185,11 @@ class VideoDecoder:
         self._recon_cb = np.clip(pred_cb + res_cb, -128.0, 127.0)
         self._recon_cr = np.clip(pred_cr + res_cr, -128.0, 127.0)
 
-        rgb = _planes_to_rgb(self._recon_y, self._recon_cb, self._recon_cr)
-        prediction_rgb = _planes_to_rgb(pred_y, pred_cb, pred_cr)
         return DecodedFrame(
-            rgb=rgb,
+            rgb=_planes_to_rgb(self._recon_y, self._recon_cb, self._recon_cr),
             frame_type="P",
             motion_vectors=mv,
-            residual_rgb=rgb - prediction_rgb,
-            prediction_rgb=prediction_rgb,
+            pred_planes=(pred_y, pred_cb, pred_cr),
         )
 
     def decode_sequence(self, encoded: Iterable[EncodedFrame]) -> List[DecodedFrame]:

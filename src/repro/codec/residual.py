@@ -1,0 +1,70 @@
+"""Per-block residual-energy summaries (summed-area-table block sums).
+
+The decoded residual localizes where a P-frame actually changed relative
+to its motion-compensated prediction: static regions quantize to an
+exactly-zero residual, moving or newly-textured regions do not. Both the
+GOP-reuse SR cache (:mod:`repro.sr.gop_reuse`) and the SR-integrated
+decoder's RoI-guided residual path consume the same per-block summary,
+so it is computed once here (and cached per block size on
+:class:`~repro.codec.decoder.DecodedFrame`).
+
+The block sums come from one exclusive summed-area table over the squared
+residual — a single pass over the frame regardless of block size, the
+same integral-image idiom the motion estimator and the RoI server use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..contracts import shaped
+from .blocks import block_grid_shape
+
+__all__ = ["block_energy", "block_pixel_counts"]
+
+
+def _block_edges(length: int, block: int) -> np.ndarray:
+    """SAT sample positions for a ragged block grid over ``length`` pixels."""
+    n = block_grid_shape(length, 1, block)[0]
+    return np.minimum(np.arange(n + 1, dtype=np.int64) * block, length)
+
+
+@shaped(residual="H W 3:f64|H W:f64")
+def block_energy(residual: np.ndarray, block: int) -> np.ndarray:
+    """Sum of squared residual per (block x block) tile, channels summed.
+
+    Returns a ``(nby, nbx)`` float64 grid on the same ceil-division block
+    grid the codec uses. Edge tiles are ragged (they sum fewer pixels);
+    normalize with :func:`block_pixel_counts` to compare against a
+    per-pixel threshold.
+    """
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    sq = residual * residual
+    if sq.ndim == 3:
+        sq = sq.sum(axis=2)
+    h, w = sq.shape
+    sat = np.zeros((h + 1, w + 1), dtype=np.float64)
+    np.cumsum(sq, axis=0, out=sat[1:, 1:])
+    np.cumsum(sat[1:, 1:], axis=1, out=sat[1:, 1:])
+    ys = _block_edges(h, block)
+    xs = _block_edges(w, block)
+    corners = sat[np.ix_(ys, xs)]
+    sums = (
+        corners[1:, 1:] - corners[:-1, 1:] - corners[1:, :-1] + corners[:-1, :-1]
+    )
+    # Corner cancellation can leave a ~1e-16-scale negative value on an
+    # exactly-zero block; a sum of squares is >= 0 by definition, and the
+    # ``energy >= threshold * pixels`` mask relies on zero staying zero.
+    return np.maximum(sums, 0.0)
+
+
+def block_pixel_counts(height: int, width: int, block: int) -> np.ndarray:
+    """Pixels covered by each tile of the ragged ``(nby, nbx)`` block grid."""
+    if height < 1 or width < 1:
+        raise ValueError(f"frame dims must be positive, got {height}x{width}")
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    heights = np.diff(_block_edges(height, block))
+    widths = np.diff(_block_edges(width, block))
+    return heights[:, None] * widths[None, :]

@@ -58,7 +58,28 @@ def observe_frame_trace(registry: MetricsRegistry, trace) -> None:
         retx = span.metadata.get("n_retransmissions")
         if retx:
             registry.counter("network_retransmissions").inc(retx)
+        reuse = span.metadata.get("reuse")
+        if reuse is not None:
+            _observe_reuse(registry, reuse)
     registry.histogram("frame_total_ms").observe(trace.total_modeled_ms)
+
+
+def _observe_reuse(registry: MetricsRegistry, reuse: dict) -> None:
+    """Record one frame's GOP-reuse decision (``reuse`` span metadata)."""
+    registry.counter("sr.reuse/frames").inc()
+    for key in ("tiles_reused", "tiles_recomputed_sr", "tiles_recomputed_bilinear"):
+        count = int(reuse.get(key, 0))
+        if count:
+            registry.counter(f"sr.reuse/{key}").inc(count)
+    if reuse.get("refresh"):
+        registry.counter("sr.reuse/refreshes").inc()
+        reason = reuse.get("reason")
+        if reason:
+            registry.counter(f"sr.reuse/refresh_{reason}").inc()
+    registry.histogram("sr.reuse/warp_ms").observe(float(reuse.get("warp_ms", 0.0)))
+    registry.histogram("sr.reuse/dirty_fraction").observe(
+        float(reuse.get("dirty_fraction", 1.0))
+    )
 
 
 # -- pipelined-executor metrics (all under the volatile "pipeline/"

@@ -88,6 +88,14 @@ SW_DECODE_MS_PER_PX = (10.5 - SW_DECODE_BASE_MS) / INPUT_720P_PX
 # Client-side merge of the upscaled RoI into the HR framebuffer and
 # display submission (Fig. 9 / Fig. 10c "display" tail).
 MERGE_MS_PER_PX = 0.4 / OUTPUT_1440P_PX  # GPU copy of the merged frame
+
+# GPU block-motion warp of the previous HR frame (GOP-reuse path): a
+# gather at one indirect read + one write per output pixel. Sized at 2x
+# the sequential merge copy — the indirection defeats the linear
+# prefetcher but the access pattern stays block-coherent, so it remains
+# a bandwidth-bound texture op (~0.8 ms for a full 1440p canvas), far
+# from the CPU warp's 15 ms.
+GPU_WARP_MS_PER_PX = 2.0 * MERGE_MS_PER_PX
 DISPLAY_PRESENT_MS = 12.0  # average vsync wait + composition at 60 Hz
 
 # ----------------------------------------------------------------------

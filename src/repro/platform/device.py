@@ -74,6 +74,11 @@ class DeviceProfile:
     composition_power_w: float
     camera_eyetracking_power_w: float
 
+    # --- defaulted extensions (appended so existing construction sites
+    # --- and keyword overrides keep working unchanged) -------------------
+    #: GPU block-motion warp of an HR frame (GOP-reuse path).
+    gpu_warp_ms_per_px: float = cal.GPU_WARP_MS_PER_PX
+
     def with_overrides(self, **kwargs) -> "DeviceProfile":
         """A copy with selected fields replaced (for ablations)."""
         return replace(self, **kwargs)

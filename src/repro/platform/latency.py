@@ -13,6 +13,7 @@ from .device import DeviceProfile
 __all__ = [
     "npu_sr_latency_ms",
     "gpu_bilinear_ms",
+    "gpu_warp_ms",
     "cpu_bilinear_ms",
     "cpu_warp_ms",
     "decode_ms",
@@ -73,6 +74,11 @@ def decode_ms(pixels: float, device: DeviceProfile, hardware: bool = True) -> fl
 def merge_ms(output_pixels: float, device: DeviceProfile) -> float:
     """GPU copy merging the upscaled RoI into the HR framebuffer (Fig. 9)."""
     return device.merge_ms_per_px * _check_pixels(output_pixels)
+
+
+def gpu_warp_ms(output_pixels: float, device: DeviceProfile) -> float:
+    """GPU block-motion warp of the previous HR frame (GOP-reuse path)."""
+    return device.gpu_warp_ms_per_px * _check_pixels(output_pixels)
 
 
 def display_present_ms(device: DeviceProfile) -> float:

@@ -1,5 +1,12 @@
 """Super-resolution: classical filters, neural runners, in-repo training."""
 
+from .gop_reuse import (
+    REUSE_DIRTY_THRESHOLD,
+    GOPSRCache,
+    composite_blocks,
+    dirty_block_mask,
+    warp_hr,
+)
 from .interpolate import FILTERS, bicubic, bilinear, lanczos, nearest, resize, upscale
 from .pretrained import PROFILES, default_sr_model, model_geometry, training_frames
 from .runner import SRRunner
@@ -7,12 +14,16 @@ from .training import PatchDataset, TrainReport, extract_patches, train_sr_model
 
 __all__ = [
     "FILTERS",
+    "GOPSRCache",
     "PROFILES",
     "PatchDataset",
+    "REUSE_DIRTY_THRESHOLD",
     "SRRunner",
     "TrainReport",
     "bicubic",
     "bilinear",
+    "composite_blocks",
+    "dirty_block_mask",
     "default_sr_model",
     "extract_patches",
     "lanczos",
@@ -22,4 +33,5 @@ __all__ = [
     "training_frames",
     "train_sr_model",
     "upscale",
+    "warp_hr",
 ]

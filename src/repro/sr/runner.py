@@ -154,6 +154,64 @@ class SRRunner:
             out = out[:, :, 0]
         return np.clip(out, 0.0, 1.0)
 
+    @shaped(image="H W 3:n", origins="N 2:i")
+    def upscale_windows(
+        self,
+        image: np.ndarray,
+        origins: np.ndarray,
+        tile: int,
+        halo: int = 8,
+        batch_size: int = 64,
+    ) -> np.ndarray:
+        """Upscale caller-chosen aligned (tile x tile) windows in one batch.
+
+        Unlike :meth:`upscale_tiled` this does not cover the frame: the
+        caller names the LR window origins (``(N, 2)`` of ``(y, x)``,
+        e.g. the dirty blocks of the GOP-reuse mask). Each window is
+        forwarded with ``halo`` pixels of surrounding frame context (the
+        same reflect-pad convention as tiled inference) and the HR core —
+        ``(tile*s, tile*s, 3)`` per window, origin order preserved — is
+        returned as an ``(N, tile*s, tile*s, 3)`` stack. Windows may
+        start at any non-negative origin; those running past the frame
+        edge read reflect/edge padding, like the last partial tile of
+        :meth:`upscale_tiled`.
+        """
+        if tile < 1:
+            raise ValueError(f"tile must be >= 1, got {tile}")
+        if halo < 0:
+            raise ValueError(f"halo must be >= 0, got {halo}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        image = np.asarray(image, dtype=np.float64)  # reprolint: disable=dtype-discipline -- seam-normalized before inference-dtype cast
+        h, w, c = image.shape
+        s = self.scale
+        origins = np.asarray(origins, dtype=np.int64)
+        n = len(origins)
+        if n == 0:
+            return np.empty((0, tile * s, tile * s, c), dtype=get_inference_dtype())
+        if origins.min() < 0:
+            raise ValueError("window origins must be >= 0")
+
+        pad_bottom = halo + max(0, int(origins[:, 0].max()) + tile - h)
+        pad_right = halo + max(0, int(origins[:, 1].max()) + tile - w)
+        padded = _pad_reflect2d(image, halo, pad_bottom, halo, pad_right)
+        padded = padded.astype(get_inference_dtype(), copy=False)
+
+        win = tile + 2 * halo
+        tiles = np.empty((n, c, win, win), dtype=padded.dtype)
+        for i, (oy, ox) in enumerate(origins):
+            # Image coords (oy - halo ..) == padded coords (oy ..).
+            tiles[i] = padded[oy : oy + win, ox : ox + win].transpose(2, 0, 1)
+
+        with no_grad():
+            chunks = [
+                self.model(Tensor(tiles[start : start + batch_size])).numpy()
+                for start in range(0, n, batch_size)
+            ]
+        out = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        core = out[:, :, halo * s : (halo + tile) * s, halo * s : (halo + tile) * s]
+        return np.clip(core.transpose(0, 2, 3, 1), 0.0, 1.0)
+
     def _upscale_tiled_loop(
         self, image: np.ndarray, tile: int, overlap: int
     ) -> np.ndarray:

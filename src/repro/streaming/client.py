@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..codec.decoder import DecodedFrame, VideoDecoder
+from ..codec.residual import block_pixel_counts
 from ..contracts import expect
 from ..codec.motion import compensate, upscale_motion_vectors
 from ..core.roi_search import RoIBox
@@ -47,6 +48,13 @@ from ..core.upscaler import RoIAssistedUpscaler
 from ..platform import latency as lat
 from ..platform.device import DeviceProfile
 from ..platform.energy import Component
+from ..sr.gop_reuse import (
+    REUSE_DIRTY_THRESHOLD,
+    GOPSRCache,
+    composite_blocks,
+    dirty_block_mask,
+    warp_hr,
+)
 from ..sr.interpolate import bicubic, bilinear
 from ..sr.runner import SRRunner
 from .frames import ClientFrameResult, ServerFrame
@@ -139,23 +147,70 @@ class StreamingClient:
         return lat.display_present_ms(self.device)
 
 
+def _roi_block_count(roi: RoIBox, block: int) -> int:
+    """How many blocks of the LR grid the RoI intersects."""
+    rows = -(-roi.y_end // block) - roi.y // block
+    cols = -(-roi.x_end // block) - roi.x // block
+    return rows * cols
+
+
+def _refresh_reuse_meta(geometry, roi: RoIBox, reason: str, block: int) -> Dict:
+    """The ``reuse`` span metadata for a full-refresh frame.
+
+    Shared by every client with a GOP-reuse path so the ``sr.reuse/*``
+    counters mean the same thing across designs.
+    """
+    nby = -(-geometry.eval_lr_height // block)
+    nbx = -(-geometry.eval_lr_width // block)
+    n_roi = _roi_block_count(roi, block)
+    return dict(
+        refresh=True, reason=reason, warp_ms=0.0, dirty_fraction=1.0,
+        tiles_total=nby * nbx, tiles_reused=0,
+        tiles_recomputed_sr=n_roi,
+        tiles_recomputed_bilinear=nby * nbx - n_roi,
+    )
+
+
 class GameStreamSRClient(StreamingClient):
-    """The paper's RoI-assisted hybrid client (Fig. 9)."""
+    """The paper's RoI-assisted hybrid client (Fig. 9).
+
+    With ``gop_reuse`` enabled (default off — the default path stays
+    byte-identical to the paper configuration) the client keeps a
+    :class:`~repro.sr.gop_reuse.GOPSRCache`: on P-frames whose warp chain
+    is intact it warps the previous frame's SR output by the decoded
+    motion field and re-runs the DNN/bilinear paths only on the blocks
+    the residual-energy mask marks dirty. I-frames, a cold cache, a
+    broken reference chain (frame-index gap left by ``skip_dropped``), or
+    an all-dirty mask fall back to the exact full per-frame path.
+    """
 
     design = "gamestreamsr"
+
+    #: LR context pixels forwarded around each recomputed SR tile (the
+    #: same default halo as tiled full-frame inference).
+    REUSE_TILE_HALO = 8
 
     def __init__(
         self,
         device: DeviceProfile,
         runner: SRRunner,
         modeled_roi_side: Optional[int] = None,
+        gop_reuse: bool = False,
+        reuse_threshold: float = REUSE_DIRTY_THRESHOLD,
     ) -> None:
         """``modeled_roi_side`` pins the RoI side at the modeled geometry
         (the negotiated plan side, e.g. ~300 px on 720p); by default the
         eval-scale RoI area is extrapolated by the area ratio."""
         super().__init__(device)
+        self.runner = runner
         self.upscaler = RoIAssistedUpscaler(runner)
         self.modeled_roi_side = modeled_roi_side
+        self.gop_reuse = gop_reuse
+        self._reuse = GOPSRCache(threshold=reuse_threshold)
+
+    def reset(self) -> None:
+        super().reset()
+        self._reuse.reset()
 
     def _modeled_roi_pixels(self, frame: ServerFrame) -> int:
         if self.modeled_roi_side is not None:
@@ -166,29 +221,168 @@ class GameStreamSRClient(StreamingClient):
         if frame.roi is None:
             raise ValueError("GameStreamSRClient requires server-side RoI data")
 
+    def _full_roi_sr(self, frame: ServerFrame, decoded: DecodedFrame, st) -> np.ndarray:
+        """The paper's full per-frame path: DNN RoI + bilinear rest."""
+        geometry = frame.geometry
+        result = self.upscaler.upscale(decoded.rgb, frame.roi)
+
+        roi_px = self._modeled_roi_pixels(frame)
+        non_roi_px = geometry.modeled_lr_pixels - roi_px
+        npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
+        gpu_ms = lat.gpu_bilinear_ms(non_roi_px, self.device)
+        merge_ms = lat.merge_ms(geometry.modeled_hr_pixels, self.device)
+        # NPU and GPU run in parallel (Sec. IV-C); the RoI merge is a
+        # composition copy and lands in the display stage, while its
+        # GPU energy belongs to the upscale category (Fig. 12).
+        st.modeled_ms = max(npu_ms, gpu_ms)
+        st.add_energy(Component.NPU, npu_ms)
+        st.add_energy(Component.GPU, gpu_ms + merge_ms)
+        st.meta(
+            npu_ms=npu_ms, gpu_ms=gpu_ms, merge_ms=merge_ms,
+            modeled_roi_pixels=roi_px,
+        )
+        return result.frame
+
     def _upscale_stage(
         self, frame: ServerFrame, decoded: DecodedFrame, trace: FrameTrace
     ) -> np.ndarray:
-        geometry = frame.geometry
-        with trace.stage("upscale") as st:
-            result = self.upscaler.upscale(decoded.rgb, frame.roi)
+        if not self.gop_reuse:
+            with trace.stage("upscale") as st:
+                hr = self._full_roi_sr(frame, decoded, st)
+            return hr
+        return self._upscale_stage_reuse(frame, decoded, trace)
 
-            roi_px = self._modeled_roi_pixels(frame)
-            non_roi_px = geometry.modeled_lr_pixels - roi_px
-            npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
-            gpu_ms = lat.gpu_bilinear_ms(non_roi_px, self.device)
-            merge_ms = lat.merge_ms(geometry.modeled_hr_pixels, self.device)
-            # NPU and GPU run in parallel (Sec. IV-C); the RoI merge is a
-            # composition copy and lands in the display stage, while its
-            # GPU energy belongs to the upscale category (Fig. 12).
-            st.modeled_ms = max(npu_ms, gpu_ms)
-            st.add_energy(Component.NPU, npu_ms)
-            st.add_energy(Component.GPU, gpu_ms + merge_ms)
-            st.meta(
-                npu_ms=npu_ms, gpu_ms=gpu_ms, merge_ms=merge_ms,
-                modeled_roi_pixels=roi_px,
+    # -- GOP reuse path ---------------------------------------------------
+    def _upscale_stage_reuse(
+        self, frame: ServerFrame, decoded: DecodedFrame, trace: FrameTrace
+    ) -> np.ndarray:
+        geometry = frame.geometry
+        block = frame.encoded.block
+        reason = self._reuse.refresh_reason(frame.index, decoded.is_reference)
+        dirty = None
+        if reason is None:
+            energy = decoded.residual_block_energy(block)
+            counts = block_pixel_counts(
+                geometry.eval_lr_height, geometry.eval_lr_width, block
             )
-        return result.frame
+            dirty = dirty_block_mask(energy, counts, self._reuse.threshold)
+            if bool(dirty.all()):
+                # Every block dirty: the partial path would recompute the
+                # whole frame anyway — collapse to the exact full path so
+                # threshold 0 is bit-identical to per-frame SR.
+                reason = "all_dirty"
+        with trace.stage("upscale") as st:
+            if reason is not None:
+                hr = self._full_roi_sr(frame, decoded, st)
+                reuse_meta = _refresh_reuse_meta(
+                    frame.geometry, frame.roi, reason, block
+                )
+            else:
+                hr, reuse_meta = self._warp_and_refresh(frame, decoded, dirty, st)
+            st.meta(reuse=reuse_meta)
+        if reason is None:
+            # Observability-only sub-span: the warp time is already part
+            # of the upscale span's modeled_ms (mtp=False avoids double
+            # counting), but gets its own stage_ms histogram this way.
+            trace.add_span("sr.reuse/warp", reuse_meta["warp_ms"], mtp=False)
+        self._reuse.store(hr, frame.index)
+        return hr
+
+    def _warp_and_refresh(
+        self,
+        frame: ServerFrame,
+        decoded: DecodedFrame,
+        dirty: np.ndarray,
+        st,
+    ) -> Tuple[np.ndarray, Dict]:
+        """Warp the cached SR canvas and recompute only the dirty blocks."""
+        geometry = frame.geometry
+        s = geometry.scale
+        block = frame.encoded.block
+        block_hr = block * s
+        lr = decoded.rgb
+        h_lr, w_lr = geometry.eval_lr_height, geometry.eval_lr_width
+        h_hr, w_hr = h_lr * s, w_lr * s
+        roi = frame.roi
+        roi_hr = roi.scaled(s)
+
+        mv_hr = upscale_motion_vectors(decoded.motion_vectors, s)
+        canvas = warp_hr(self._reuse.hr, mv_hr, block_hr)
+
+        # Real pixels: bilinear-refresh every dirty block, then overwrite
+        # the dirty pixels inside the RoI with DNN tiles — matching the
+        # full path's pixel-granularity DNN-inside / bilinear-outside
+        # composition at the RoI boundary.
+        hr_bilinear = bilinear(lr, h_hr, w_hr)
+        composite_blocks(canvas, hr_bilinear, dirty, block_hr)
+
+        coords = [tuple(map(int, c)) for c in np.argwhere(dirty)]
+        in_roi = [
+            (by, bx)
+            for by, bx in coords
+            if by * block < roi.y_end and (by + 1) * block > roi.y
+            and bx * block < roi.x_end and (bx + 1) * block > roi.x
+        ]
+        if in_roi:
+            origins = np.array(
+                [[by * block, bx * block] for by, bx in in_roi], dtype=np.int64
+            )
+            tiles = self.runner.upscale_windows(
+                lr, origins, tile=block, halo=self.REUSE_TILE_HALO
+            )
+            for tile_hr, (by, bx) in zip(tiles, in_roi):
+                y0 = max(by * block_hr, roi_hr.y)
+                y1 = min((by + 1) * block_hr, roi_hr.y_end, h_hr)
+                x0 = max(bx * block_hr, roi_hr.x)
+                x1 = min((bx + 1) * block_hr, roi_hr.x_end, w_hr)
+                canvas[y0:y1, x0:x1] = tile_hr[
+                    y0 - by * block_hr : y1 - by * block_hr,
+                    x0 - bx * block_hr : x1 - bx * block_hr,
+                ]
+
+        # Modeled costs: dirty-pixel accounting at the eval geometry,
+        # rescaled to the modeled (720p) geometry by area fraction —
+        # honoring a pinned modeled RoI side exactly like the full path.
+        dirty_px = np.repeat(np.repeat(dirty, block, axis=0), block, axis=1)[
+            :h_lr, :w_lr
+        ]
+        roi_mask = np.zeros_like(dirty_px)
+        roi_mask[roi.y : roi.y_end, roi.x : roi.x_end] = True
+        dirty_lr = int(dirty_px.sum())
+        dirty_roi_lr = int((dirty_px & roi_mask).sum())
+        dirty_nonroi_lr = dirty_lr - dirty_roi_lr
+
+        modeled_roi_px = self._modeled_roi_pixels(frame)
+        modeled_nonroi_px = geometry.modeled_lr_pixels - modeled_roi_px
+        roi_frac = dirty_roi_lr / roi.area if roi.area else 0.0
+        nonroi_area = h_lr * w_lr - roi.area
+        nonroi_frac = dirty_nonroi_lr / nonroi_area if nonroi_area else 0.0
+
+        warp_ms = lat.gpu_warp_ms(geometry.modeled_hr_pixels, self.device)
+        npu_ms = lat.npu_sr_latency_ms(modeled_roi_px * roi_frac, self.device)
+        gpu_ms = lat.gpu_bilinear_ms(modeled_nonroi_px * nonroi_frac, self.device)
+        merge_ms = lat.merge_ms(
+            geometry.modeled_hr_pixels * dirty_lr / (h_lr * w_lr), self.device
+        )
+        # The warp precedes the parallel NPU/GPU refresh of dirty tiles;
+        # the (now partial) merge copy still lands in the display stage
+        # with its GPU energy in the upscale category, as in the full path.
+        st.modeled_ms = warp_ms + max(npu_ms, gpu_ms)
+        st.add_energy(Component.NPU, npu_ms)
+        st.add_energy(Component.GPU, warp_ms + gpu_ms + merge_ms)
+        st.meta(
+            npu_ms=npu_ms, gpu_ms=gpu_ms, merge_ms=merge_ms,
+            modeled_roi_pixels=modeled_roi_px,
+        )
+        reuse_meta = dict(
+            refresh=False, reason="", warp_ms=warp_ms,
+            dirty_fraction=float(dirty.mean()),
+            tiles_total=int(dirty.size),
+            tiles_reused=int(dirty.size) - len(coords),
+            tiles_recomputed_sr=len(in_roi),
+            tiles_recomputed_bilinear=len(coords) - len(in_roi),
+        )
+        return canvas, reuse_meta
 
     def _display_ms(self, frame: ServerFrame, trace: FrameTrace) -> float:
         merge_ms = trace.span("upscale").metadata["merge_ms"]
@@ -317,10 +511,23 @@ class SRIntegratedDecoderClient(StreamingClient):
     #: land near the paper's "as high as 50 %" (Sec. VI), not at the
     #: free-lunch number a zero-cost decoder would give.
     RECON_MS_PER_HR_PX = 5.4e-6
+    #: Share of the reconstruction engine that runs regardless of the
+    #: GOP-reuse dirty mask: the MV warp + merge datapath touches every HR
+    #: pixel; only the remaining residual-interpolation share gates per
+    #: dirty block when ``gop_reuse`` is enabled.
+    REUSE_RECON_WARP_SHARE = 0.25
 
-    def __init__(self, device: DeviceProfile, runner: SRRunner) -> None:
+    def __init__(
+        self,
+        device: DeviceProfile,
+        runner: SRRunner,
+        gop_reuse: bool = False,
+        reuse_threshold: float = REUSE_DIRTY_THRESHOLD,
+    ) -> None:
         super().__init__(device)
         self.upscaler = RoIAssistedUpscaler(runner)
+        self.gop_reuse = gop_reuse
+        self.reuse_threshold = reuse_threshold
         self._hr_reference: Optional[np.ndarray] = None
 
     def reset(self) -> None:
@@ -362,6 +569,15 @@ class SRIntegratedDecoderClient(StreamingClient):
                 st.add_energy(Component.NPU, npu_ms)
                 st.add_energy(Component.GPU, gpu_ms)
                 st.meta(path="roi_sr")
+                if self.gop_reuse:
+                    reason = (
+                        "reference_frame" if decoded.is_reference else "cold_cache"
+                    )
+                    st.meta(
+                        reuse=_refresh_reuse_meta(
+                            geometry, frame.roi, reason, frame.encoded.block
+                        )
+                    )
             else:
                 mv_hr = upscale_motion_vectors(decoded.motion_vectors, s)
                 block_hr = frame.encoded.block * s
@@ -374,8 +590,25 @@ class SRIntegratedDecoderClient(StreamingClient):
                     ],
                     axis=-1,
                 )
+                residual = decoded.residual_rgb
+                dirty = None
+                if self.gop_reuse:
+                    # Shared decoder summary (satellite: computed once in
+                    # the decoder, consumed by both reuse consumers): the
+                    # residual-interpolation engine only processes dirty
+                    # blocks; clean blocks contribute zero residual.
+                    block = frame.encoded.block
+                    energy = decoded.residual_block_energy(block)
+                    counts = block_pixel_counts(
+                        geometry.eval_lr_height, geometry.eval_lr_width, block
+                    )
+                    dirty = dirty_block_mask(energy, counts, self.reuse_threshold)
+                    dirty_px = np.repeat(
+                        np.repeat(dirty, block, axis=0), block, axis=1
+                    )[: geometry.eval_lr_height, : geometry.eval_lr_width]
+                    residual = residual * dirty_px[:, :, None]
                 residual_hr = self._roi_guided_residual(
-                    decoded.residual_rgb, frame.roi, h_hr, w_hr
+                    residual, frame.roi, h_hr, w_hr
                 )
                 hr = np.clip(prediction + residual_hr, 0.0, 1.0)
                 # Everything happens inside the augmented decoder hardware
@@ -384,6 +617,24 @@ class SRIntegratedDecoderClient(StreamingClient):
                 # datapath's latency and energy, and idle the upscaler.
                 hw_decode_ms = trace.span("decode").modeled_ms
                 recon_ms = self.RECON_MS_PER_HR_PX * geometry.modeled_hr_pixels
+                reuse_amend = {}
+                if dirty is not None:
+                    dirty_fraction = float(dirty.mean())
+                    recon_ms *= (
+                        self.REUSE_RECON_WARP_SHARE
+                        + (1.0 - self.REUSE_RECON_WARP_SHARE) * dirty_fraction
+                    )
+                    n_dirty = int(dirty.sum())
+                    reuse_amend = dict(
+                        reuse=dict(
+                            refresh=False, reason="", warp_ms=0.0,
+                            dirty_fraction=dirty_fraction,
+                            tiles_total=int(dirty.size),
+                            tiles_reused=int(dirty.size) - n_dirty,
+                            tiles_recomputed_sr=0,
+                            tiles_recomputed_bilinear=n_dirty,
+                        )
+                    )
                 trace.amend_span(
                     "decode",
                     modeled_ms=hw_decode_ms * self.DECODER_AUGMENT_FACTOR + recon_ms,
@@ -396,6 +647,7 @@ class SRIntegratedDecoderClient(StreamingClient):
                     ],
                     augmented=True,
                     recon_ms=recon_ms,
+                    **reuse_amend,
                 )
                 st.modeled_ms = 0.0
                 st.meta(path="in_decoder_reconstruction")

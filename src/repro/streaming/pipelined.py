@@ -80,7 +80,12 @@ from .frames import ServerFrame
 from .pipeline import CLIENT_STAGES, SERVER_STAGES, FrameTrace
 from .ring import DEFAULT_SLOT_BYTES, RingClosed, ShmRing
 from .server import GameStreamServer
-from .session import SessionResult, _adaptive_eval_side, _consume_frame
+from .session import (
+    SessionResult,
+    _adaptive_eval_side,
+    _consume_frame,
+    _require_gop_reuse,
+)
 
 __all__ = [
     "PipelineSchedule",
@@ -217,6 +222,7 @@ def run_session_pipelined(
     link_deadline_ms: float = float("inf"),
     adaptive: Optional[AdaptiveRoIController] = None,
     skip_dropped: bool = False,
+    gop_reuse: bool = False,
     depth: int = 2,
     workers: int = 1,
     slot_bytes: int = DEFAULT_SLOT_BYTES,
@@ -252,6 +258,10 @@ def run_session_pipelined(
         raise ValueError(f"pipeline depth must be >= 1, got {depth}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if gop_reuse:
+        # Client stages run in the parent process, so the GOP cache sees
+        # frames in order exactly as in the serial loop.
+        _require_gop_reuse(client)
 
     client.reset()
     metrics = MetricsRegistry()

@@ -311,6 +311,21 @@ def _apply_adaptive_side(
         client.modeled_roi_side = adaptive.side
 
 
+def _require_gop_reuse(client: StreamingClient) -> None:
+    """Enable GOP-aware SR reuse on a client that supports it.
+
+    Only the designs that keep a warp-reusable SR output expose the knob
+    (``GameStreamSRClient``, ``SRIntegratedDecoderClient``); asking any
+    other design is a configuration error, not a silent no-op.
+    """
+    if not hasattr(client, "gop_reuse"):
+        raise ValueError(
+            f"design {client.design!r} does not support gop_reuse; use "
+            "GameStreamSRClient or SRIntegratedDecoderClient"
+        )
+    client.gop_reuse = True
+
+
 def _skipped_client_result(frame: ServerFrame, reason: str) -> ClientFrameResult:
     """The client-side record of a skipped (never decoded) frame.
 
@@ -448,6 +463,7 @@ def run_session(
     link_deadline_ms: float = float("inf"),
     adaptive: Optional[AdaptiveRoIController] = None,
     skip_dropped: bool = False,
+    gop_reuse: bool = False,
 ) -> SessionResult:
     """Stream ``n_frames`` through ``server`` -> ``client`` and aggregate.
 
@@ -474,11 +490,21 @@ def run_session(
     missing or stale reference would crash or silently corrupt. With the
     default ``False`` the client still processes dropped frames in full
     — the historical behavior, pinned by the regression tests.
+
+    ``gop_reuse`` (default off) turns on the compressed-domain SR cache
+    on clients that support it (:mod:`repro.sr.gop_reuse`): P-frames warp
+    the previous frame's SR output by the decoded motion field and only
+    re-upscale the blocks whose residual energy marks them dirty, with a
+    mandatory full refresh on I-frames and reference-chain breaks. With
+    the default ``False`` the session traces stay byte-identical to the
+    per-frame-SR configuration (pinned by the equivalence tests).
     """
     if n_frames < 1:
         raise ValueError(f"n_frames must be >= 1, got {n_frames}")
     if lpips_stride < 1:
         raise ValueError(f"lpips_stride must be >= 1, got {lpips_stride}")
+    if gop_reuse:
+        _require_gop_reuse(client)
     client.reset()
     metrics = MetricsRegistry()
     result = SessionResult(

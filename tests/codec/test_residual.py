@@ -1,0 +1,119 @@
+"""Per-block residual-energy summaries + lazy DecodedFrame internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.decoder import VideoDecoder
+from repro.codec.encoder import VideoEncoder
+from repro.codec.residual import block_energy, block_pixel_counts
+
+
+def naive_block_energy(residual: np.ndarray, block: int) -> np.ndarray:
+    sq = residual * residual
+    if sq.ndim == 3:
+        sq = sq.sum(axis=2)
+    h, w = sq.shape
+    nby, nbx = -(-h // block), -(-w // block)
+    out = np.zeros((nby, nbx))
+    for by in range(nby):
+        for bx in range(nbx):
+            out[by, bx] = sq[
+                by * block : (by + 1) * block, bx * block : (bx + 1) * block
+            ].sum()
+    return out
+
+
+class TestBlockEnergy:
+    @pytest.mark.parametrize("shape", [(16, 24), (13, 19), (8, 8), (5, 8)])
+    @pytest.mark.parametrize("block", [4, 8])
+    def test_matches_naive_2d(self, rng, shape, block):
+        residual = rng.normal(size=shape)
+        np.testing.assert_allclose(
+            block_energy(residual, block), naive_block_energy(residual, block),
+            atol=1e-10,
+        )
+
+    def test_matches_naive_rgb(self, rng):
+        residual = rng.normal(size=(21, 34, 3))
+        np.testing.assert_allclose(
+            block_energy(residual, 8), naive_block_energy(residual, 8), atol=1e-10
+        )
+
+    def test_zero_residual_zero_energy(self):
+        assert not block_energy(np.zeros((16, 16, 3)), 8).any()
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            block_energy(np.zeros((8, 8)), 0)
+
+
+class TestBlockPixelCounts:
+    def test_exact_grid(self):
+        np.testing.assert_array_equal(
+            block_pixel_counts(16, 24, 8), np.full((2, 3), 64)
+        )
+
+    def test_ragged_edges(self):
+        counts = block_pixel_counts(13, 19, 8)
+        assert counts.shape == (2, 3)
+        # Last row is 5 px tall, last column 3 px wide.
+        np.testing.assert_array_equal(
+            counts, [[64, 64, 24], [40, 40, 15]]
+        )
+        assert counts.sum() == 13 * 19
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            block_pixel_counts(0, 8, 8)
+        with pytest.raises(ValueError):
+            block_pixel_counts(8, 8, 0)
+
+
+@pytest.fixture(scope="module")
+def decoded_pair(g3_sequence):
+    """(eager reference planes, decoded frames) for an I+P G3 pair."""
+    encoder = VideoEncoder(gop_size=4, quality=60)
+    encoded = [encoder.encode_frame(f.color) for f in g3_sequence[:3]]
+    return VideoDecoder().decode_sequence(encoded)
+
+
+class TestLazyDecodedFrame:
+    def test_i_frame_has_no_residual(self, decoded_pair):
+        iframe = decoded_pair[0]
+        assert iframe.is_reference
+        assert iframe.prediction_rgb is None
+        assert iframe.residual_rgb is None
+        assert iframe.residual_block_energy(8) is None
+
+    def test_lazy_until_first_access(self, decoded_pair):
+        pframe = decoded_pair[1]
+        assert not pframe.is_reference
+        assert pframe._prediction_rgb is None  # not computed by the decoder
+        assert pframe._residual_rgb is None
+        prediction = pframe.prediction_rgb
+        assert pframe._prediction_rgb is not None
+        assert prediction.shape == pframe.rgb.shape
+
+    def test_residual_is_rgb_minus_prediction(self, decoded_pair):
+        pframe = decoded_pair[2]
+        np.testing.assert_array_equal(
+            pframe.residual_rgb, pframe.rgb - pframe.prediction_rgb
+        )
+
+    def test_properties_cache_identity(self, decoded_pair):
+        pframe = decoded_pair[1]
+        assert pframe.prediction_rgb is pframe.prediction_rgb
+        assert pframe.residual_rgb is pframe.residual_rgb
+
+    def test_block_energy_cached_per_block_size(self, decoded_pair):
+        pframe = decoded_pair[1]
+        e8 = pframe.residual_block_energy(8)
+        assert pframe.residual_block_energy(8) is e8
+        e4 = pframe.residual_block_energy(4)
+        assert e4.shape != e8.shape
+        np.testing.assert_allclose(e4.sum(), e8.sum(), atol=1e-10)
+        np.testing.assert_allclose(
+            e8, block_energy(pframe.residual_rgb, 8), atol=0.0
+        )
