@@ -35,6 +35,12 @@ echo "== GOP-reuse smoke (REPRO_CONTRACTS=1, serial + pipelined) =="
 # warp/mask/composite seams plus pipelined byte-identity of reuse traces.
 REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py --pipelined --gop-reuse
 
+echo "== model-zoo backend smoke (REPRO_CONTRACTS=1, serial + pipelined) =="
+# RoI designs driven by a non-default zoo backend and by the
+# difficulty-aware tile dispatcher, pipelined byte-identity included.
+REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py --pipelined --sr-backend quicksrnet
+REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py --pipelined --dispatch
+
 echo "== hot-path bench (smoke) =="
 python benchmarks/bench_hotpath.py --smoke >/dev/null
 echo "ok: wrote BENCH_hotpath.smoke.json"
@@ -54,3 +60,7 @@ echo "ok: wrote BENCH_pipeline.smoke.json"
 echo "== GOP-reuse bench (smoke) =="
 python benchmarks/bench_gopsr.py --smoke >/dev/null
 echo "ok: wrote BENCH_gopsr.smoke.json"
+
+echo "== model-zoo bench (smoke) =="
+python benchmarks/bench_zoo.py --smoke >/dev/null
+echo "ok: wrote BENCH_zoo.smoke.json"

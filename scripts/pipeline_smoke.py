@@ -13,7 +13,13 @@ With ``--pipelined`` every design is additionally streamed through the
 software-pipelined executor (``repro.streaming.pipelined``, depth 2) and
 its canonical trace export is asserted byte-identical to the serial run.
 
+``--gop-reuse``, ``--sr-backend NAME`` and ``--dispatch`` (mutually
+exclusive) restrict the matrix to the RoI designs and stream them with
+the corresponding SR-execution knob on, asserting its per-frame ledger
+(reuse decisions / backend name / dispatch counters) is recorded.
+
 Usage: PYTHONPATH=src python scripts/pipeline_smoke.py [--out DIR] [--pipelined]
+           [--gop-reuse | --sr-backend NAME | --dispatch]
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ N_FRAMES = 5
 GOP = 4  # both reference and dependent frames inside 5 streamed frames
 
 
-def build_clients(device, runner, plan, gop_reuse=False):
+def build_clients(device, runner, plan, roi_only=False):
     from repro.streaming import (
         BilinearClient,
         FullFrameSRClient,
@@ -44,9 +50,9 @@ def build_clients(device, runner, plan, gop_reuse=False):
     )
 
     roi_eval = plan.side_for_frame(64)
-    if gop_reuse:
-        # Only the designs with a GOP-reuse path; run_session flips the
-        # knob on via gop_reuse=True, exercising _require_gop_reuse too.
+    if roi_only:
+        # Only the designs with GOP-reuse / zoo-backend / dispatch paths;
+        # run_session flips the knob on, exercising apply_client_knobs too.
         return [
             (GameStreamSRClient(device, runner, modeled_roi_side=plan.side), roi_eval),
             (SRIntegratedDecoderClient(device, runner), roi_eval),
@@ -101,7 +107,22 @@ def main(argv=None) -> int:
         help="smoke only the GOP-reuse designs with gop_reuse=True "
         "(warp-and-refresh SR cache) instead of the default matrix",
     )
+    parser.add_argument(
+        "--sr-backend",
+        default=None,
+        metavar="NAME",
+        help="smoke only the RoI designs with the named zoo backend "
+        "driving the RoI SR (see repro.sr.backends.available_backends)",
+    )
+    parser.add_argument(
+        "--dispatch",
+        action="store_true",
+        help="smoke only the RoI designs with difficulty-aware tile "
+        "dispatch (EDSR + bilinear_gpu pool, half-deadline budget)",
+    )
     args = parser.parse_args(argv)
+    if sum(map(bool, (args.gop_reuse, args.sr_backend, args.dispatch))) > 1:
+        parser.error("--gop-reuse, --sr-backend and --dispatch are exclusive")
 
     from repro.core.roi_sizing import plan_roi_window
     from repro.platform.device import get_device
@@ -115,16 +136,36 @@ def main(argv=None) -> int:
     runner = SRRunner(default_sr_model(profile="tiny"))
     geometry = StreamGeometry(eval_lr_height=64, eval_lr_width=112, lr_source="native")
 
+    sr_backend = None
+    dispatch = None
+    if args.sr_backend:
+        from repro.sr.backends import build_backend
+
+        sr_backend = build_backend(
+            args.sr_backend, profile="tiny",
+            runner=runner if args.sr_backend == "edsr" else None,
+        )
+    if args.dispatch:
+        from repro.platform.calibration import REALTIME_DEADLINE_MS
+        from repro.sr.backends import build_backend
+        from repro.sr.dispatch import DifficultyDispatcher
+
+        dispatch = DifficultyDispatcher(
+            [build_backend("edsr", runner=runner), build_backend("bilinear_gpu")],
+            budget_ms=REALTIME_DEADLINE_MS / 2,
+        )
+    knobs = dict(gop_reuse=args.gop_reuse, sr_backend=sr_backend, dispatch=dispatch)
+    roi_only = args.gop_reuse or sr_backend is not None or dispatch is not None
+
     def make_server(roi_side):
         return GameStreamServer(
             build_game("G3"), geometry, roi_side=roi_side, gop_size=GOP
         )
 
     out_dir = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="traces-"))
-    for client, roi_side in build_clients(device, runner, plan, args.gop_reuse):
+    for client, roi_side in build_clients(device, runner, plan, roi_only):
         result = run_session(
-            make_server(roi_side), client, n_frames=N_FRAMES,
-            gop_reuse=args.gop_reuse,
+            make_server(roi_side), client, n_frames=N_FRAMES, **knobs,
         )
         check_session(result, out_dir)
         if args.gop_reuse:
@@ -136,6 +177,22 @@ def main(argv=None) -> int:
             assert result.metrics.counter("sr.reuse/refreshes").value >= 1, (
                 f"no sr.reuse refresh recorded for {result.design}"
             )
+        if sr_backend is not None:
+            # Every RoI-SR frame must carry the backend's name in its span.
+            named = [
+                r.trace.span("upscale").metadata.get("sr_backend")
+                for r in result.records
+                if r.trace.span("upscale").metadata.get("path") != (
+                    "in_decoder_reconstruction"
+                )
+            ]
+            assert named and all(n == sr_backend.name for n in named), (
+                f"sr_backend={sr_backend.name} not recorded for {result.design}"
+            )
+        if dispatch is not None:
+            assert result.metrics.counter("sr.dispatch/frames").value >= 1, (
+                f"sr.dispatch/frames not recorded for {result.design}"
+            )
         suffix = ""
         if args.pipelined:
             from repro.observability import canonicalize_session_trace
@@ -143,7 +200,7 @@ def main(argv=None) -> int:
 
             piped = run_session_pipelined(
                 make_server(roi_side), client, n_frames=N_FRAMES, depth=2,
-                gop_reuse=args.gop_reuse,
+                **knobs,
             )
             serial_canon = json.dumps(
                 canonicalize_session_trace(result.to_trace_dict()), sort_keys=True

@@ -94,27 +94,59 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     runner = SRRunner(default_sr_model(profile=args.profile))
     geometry = StreamGeometry(eval_lr_height=64, eval_lr_width=112, lr_source="native")
 
+    sr_backend = None
+    dispatch = None
+    if args.sr_backend is not None:
+        from .sr.backends import build_backend
+
+        sr_backend = build_backend(
+            args.sr_backend,
+            profile=args.profile,
+            # The default arch reuses the session's already-built runner.
+            runner=runner if args.sr_backend == "edsr" else None,
+        )
+    if args.dispatch:
+        from .platform.calibration import REALTIME_DEADLINE_MS
+        from .sr.backends import build_backend
+        from .sr.dispatch import DifficultyDispatcher
+
+        budget = args.dispatch_budget_ms
+        if budget is None:
+            # Half the 60 FPS frame budget: tight enough that the greedy
+            # router actually spills easy tiles onto the small net / GPU.
+            budget = REALTIME_DEADLINE_MS / 2
+        dispatch = DifficultyDispatcher(
+            [
+                build_backend("edsr", profile=args.profile, runner=runner),
+                build_backend("quicksrnet", profile=args.profile),
+                build_backend("bilinear_gpu"),
+            ],
+            budget_ms=budget,
+        )
+
     for label, client, roi in (
         ("gamestreamsr", GameStreamSRClient(device, runner, modeled_roi_side=plan.side),
          plan.side_for_frame(64)),
         ("nemo", NemoClient(device, runner), None),
     ):
-        # GOP reuse is a GameStreamSR-design knob; NEMO's codec-guided
-        # reconstruction already reuses the previous HR frame.
-        gop_reuse = args.gop_reuse and hasattr(client, "gop_reuse")
+        # The execution knobs apply only to the designs that carry them
+        # (the session's apply_client_knobs validates combinations);
+        # NEMO's codec-guided reconstruction has its own reuse story.
+        knobs = dict(
+            gop_reuse=args.gop_reuse and hasattr(client, "gop_reuse"),
+            sr_backend=sr_backend if hasattr(client, "sr_backend") else None,
+            dispatch=dispatch if hasattr(client, "dispatch") else None,
+        )
         server = GameStreamServer(
             build_game(args.game), geometry, roi_side=roi, gop_size=args.frames
         )
         if args.pipelined:
             result = run_session_pipelined(
                 server, client, n_frames=args.frames,
-                gop_reuse=gop_reuse,
-                depth=args.depth, workers=args.workers,
+                depth=args.depth, workers=args.workers, **knobs,
             )
         else:
-            result = run_session(
-                server, client, n_frames=args.frames, gop_reuse=gop_reuse
-            )
+            result = run_session(server, client, n_frames=args.frames, **knobs)
         print(
             f"{label:14s} ref {result.mean_upscale_ms(True):7.1f} ms | "
             f"non-ref {result.mean_upscale_ms(False):6.2f} ms | "
@@ -181,6 +213,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="warp-and-refresh SR reuse across the GOP for designs that "
         "support it (re-runs the DNN only on residual-dirty tiles)",
+    )
+    stream.add_argument(
+        "--sr-backend",
+        default=None,
+        metavar="NAME",
+        help="model-zoo SR backend for the RoI pass (edsr, edsr_int8, "
+        "fsrcnn, quicksrnet, bicubic_cpu, bilinear_gpu)",
+    )
+    stream.add_argument(
+        "--dispatch",
+        action="store_true",
+        help="difficulty-aware tile dispatch over edsr + quicksrnet + "
+        "bilinear_gpu under a per-frame latency budget",
+    )
+    stream.add_argument(
+        "--dispatch-budget-ms",
+        type=float,
+        default=None,
+        help="per-engine latency budget for --dispatch "
+        "(default: half the 60 FPS frame budget)",
     )
     stream.add_argument(
         "--trace-json",

@@ -24,7 +24,11 @@ from ..framework import Finding, LintPass, ModuleInfo, Project, register_pass
 __all__ = ["ImportHygienePass", "LAYERS"]
 
 #: Package -> layer rank. An import edge A -> B requires
-#: ``LAYERS[pkg(B)] < LAYERS[pkg(A)]``.
+#: ``LAYERS[pkg(B)] < LAYERS[pkg(A)]``. Entries may be whole top-level
+#: packages or individual sub-layers inside one (longest prefix wins),
+#: e.g. the base ``repro.sr`` filters/runners must not import the zoo
+#: registry in ``repro.sr.backends``, which in turn must not import the
+#: dispatcher built on top of it.
 LAYERS: Dict[str, int] = {
     "repro.contracts": 0,
     "repro.lint": 1,
@@ -36,21 +40,28 @@ LAYERS: Dict[str, int] = {
     "repro.metrics": 1,
     "repro.render": 1,
     "repro.sr": 2,
-    "repro.codec": 3,
-    "repro.core": 3,
-    "repro.streaming": 4,
-    "repro.baselines": 5,
-    "repro.analysis": 6,
-    "repro.cli": 7,
-    "repro": 8,
-    "repro.__main__": 8,
+    "repro.sr.backends": 3,
+    "repro.sr.dispatch": 4,
+    "repro.codec": 5,
+    "repro.core": 5,
+    "repro.streaming": 6,
+    "repro.baselines": 7,
+    "repro.analysis": 8,
+    "repro.cli": 9,
+    "repro": 10,
+    "repro.__main__": 10,
 }
 
 _ROOT_PACKAGE = "repro"
 
 
 def _package_of(module: str) -> str:
+    """Longest LAYERS prefix of ``module``; top-level package otherwise."""
     parts = module.split(".")
+    for i in range(len(parts), 1, -1):
+        prefix = ".".join(parts[:i])
+        if prefix in LAYERS:
+            return prefix
     return ".".join(parts[:2]) if len(parts) > 1 else parts[0]
 
 
@@ -208,6 +219,11 @@ class ImportHygienePass(LintPass):
         src_pkg = _package_of(mod.name)  # type: ignore[arg-type]
         dst_pkg = _package_of(target)
         if src_pkg == dst_pkg:
+            return
+        # A package __init__ aggregating its own subtree (``repro.sr``
+        # re-exporting repro.sr.backends) is namespace plumbing, not a
+        # layering edge; real cycles are still caught by the cycle pass.
+        if mod.is_package_init and target.startswith(mod.name + "."):
             return
         src_rank = LAYERS.get(src_pkg)
         dst_rank = LAYERS.get(dst_pkg)

@@ -61,6 +61,9 @@ def observe_frame_trace(registry: MetricsRegistry, trace) -> None:
         reuse = span.metadata.get("reuse")
         if reuse is not None:
             _observe_reuse(registry, reuse)
+        dispatch = span.metadata.get("dispatch")
+        if dispatch is not None:
+            _observe_dispatch(registry, dispatch)
     registry.histogram("frame_total_ms").observe(trace.total_modeled_ms)
 
 
@@ -79,6 +82,29 @@ def _observe_reuse(registry: MetricsRegistry, reuse: dict) -> None:
     registry.histogram("sr.reuse/warp_ms").observe(float(reuse.get("warp_ms", 0.0)))
     registry.histogram("sr.reuse/dirty_fraction").observe(
         float(reuse.get("dirty_fraction", 1.0))
+    )
+
+
+def _observe_dispatch(registry: MetricsRegistry, dispatch: dict) -> None:
+    """Record one frame's tile-dispatch plan (``dispatch`` span metadata,
+    the :meth:`repro.sr.dispatch.DispatchPlan.meta` payload)."""
+    registry.counter("sr.dispatch/frames").inc()
+    registry.counter("sr.dispatch/tiles_total").inc(
+        int(dispatch.get("tiles_total", 0))
+    )
+    overflow = int(dispatch.get("overflow_tiles", 0))
+    if overflow:
+        registry.counter("sr.dispatch/overflow_tiles").inc(overflow)
+    for name, count in (dispatch.get("backend_tiles") or {}).items():
+        if count:
+            registry.counter(f"sr.dispatch/tiles_{name}").inc(int(count))
+    for engine, ms in (dispatch.get("engine_ms") or {}).items():
+        registry.histogram(f"sr.dispatch/engine_ms_{engine}").observe(float(ms))
+    registry.histogram("sr.dispatch/upscale_ms").observe(
+        float(dispatch.get("upscale_ms", 0.0))
+    )
+    registry.histogram("sr.dispatch/mean_difficulty").observe(
+        float(dispatch.get("mean_difficulty", 0.0))
     )
 
 

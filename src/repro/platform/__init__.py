@@ -11,6 +11,7 @@ from .device import DeviceProfile, DisplaySpec, get_device, pixel_7_pro, samsung
 from .energy import Component, EnergyBreakdown, component_power_w, overhead_mj, stage_energy_mj
 from .eyetracking import EyeTrackingCost, eyetracking_cost
 from .latency import (
+    cpu_bicubic_ms,
     cpu_bilinear_ms,
     cpu_warp_ms,
     decode_ms,
@@ -35,6 +36,7 @@ __all__ = [
     "EyeTrackingCost",
     "calibration",
     "component_power_w",
+    "cpu_bicubic_ms",
     "cpu_bilinear_ms",
     "cpu_warp_ms",
     "decode_ms",

@@ -137,6 +137,27 @@ RECON_POWER_W = 0.8
 #: Camera-based eye tracking draw measured on the Pixel 7 Pro (Sec. III-A).
 CAMERA_EYETRACKING_POWER_W = 2.8
 
+# ----------------------------------------------------------------------
+# SR model-zoo anchors (repro.sr.backends). Alternative nets run on the
+# same NPU anchor curve t(px) = a*px*(1+px/sat) scaled by a per-model
+# factor tied to the related work's reported mobile speedups:
+#   * FSRCNN-style: ~3.3x faster than EDSR-class nets on mobile DSPs
+#     (MobiSR Table 2 reports its compact models at 0.25-0.35x the
+#     latency of the full model on the Hexagon DSP).
+#   * QuickSRNet: plain conv stacks fuse into one pipelined NPU graph;
+#     Berger et al. 2023 (Fig. 1) place QuickSRNet-small at ~5.5x the
+#     throughput of repVGG-class SR baselines on a mobile accelerator.
+#   * int8 EDSR: NAWQ-SR Sec. 5 reports ~1.8x latency reduction for
+#     hybrid-precision execution vs FP16 on the same NPU, at ~0.7x the
+#     power (int8 MACs toggle less datapath per op).
+FSRCNN_NPU_LATENCY_SCALE = 0.30
+QUICKSRNET_NPU_LATENCY_SCALE = 0.18
+EDSR_INT8_NPU_LATENCY_SCALE = 0.55
+EDSR_INT8_NPU_POWER_SCALE = 0.70
+# CPU bicubic: 4x4 taps vs bilinear's 2x2 but the separable filter
+# reuses row passes, so ~2.5x the per-pixel cost rather than 4x.
+CPU_BICUBIC_MS_PER_PX = 2.5 * CPU_BILINEAR_MS_PER_PX
+
 # Per-device display/network overhead bucket (mJ per frame), equal across
 # designs by construction ("display and network processing energies do
 # not vary", Sec. V-B).

@@ -78,6 +78,13 @@ class DeviceProfile:
     # --- and keyword overrides keep working unchanged) -------------------
     #: GPU block-motion warp of an HR frame (GOP-reuse path).
     gpu_warp_ms_per_px: float = cal.GPU_WARP_MS_PER_PX
+    #: SR model-zoo anchors (repro.sr.backends): per-model scale factors
+    #: on the EDSR NPU latency curve, int8 power derating, CPU bicubic.
+    fsrcnn_npu_latency_scale: float = cal.FSRCNN_NPU_LATENCY_SCALE
+    quicksrnet_npu_latency_scale: float = cal.QUICKSRNET_NPU_LATENCY_SCALE
+    edsr_int8_npu_latency_scale: float = cal.EDSR_INT8_NPU_LATENCY_SCALE
+    edsr_int8_npu_power_scale: float = cal.EDSR_INT8_NPU_POWER_SCALE
+    cpu_bicubic_ms_per_px: float = cal.CPU_BICUBIC_MS_PER_PX
 
     def with_overrides(self, **kwargs) -> "DeviceProfile":
         """A copy with selected fields replaced (for ablations)."""

@@ -15,6 +15,7 @@ __all__ = [
     "gpu_bilinear_ms",
     "gpu_warp_ms",
     "cpu_bilinear_ms",
+    "cpu_bicubic_ms",
     "cpu_warp_ms",
     "decode_ms",
     "merge_ms",
@@ -56,6 +57,11 @@ def gpu_bilinear_ms(input_pixels: float, device: DeviceProfile) -> float:
 def cpu_bilinear_ms(input_pixels: float, device: DeviceProfile) -> float:
     """Software bilinear upscale latency on the CPU (NEMO's MV/residual path)."""
     return device.cpu_bilinear_ms_per_px * _check_pixels(input_pixels)
+
+
+def cpu_bicubic_ms(input_pixels: float, device: DeviceProfile) -> float:
+    """Software bicubic upscale latency on the CPU (4x4 separable filter)."""
+    return device.cpu_bicubic_ms_per_px * _check_pixels(input_pixels)
 
 
 def cpu_warp_ms(output_pixels: float, device: DeviceProfile) -> float:

@@ -1,5 +1,13 @@
 """Super-resolution: classical filters, neural runners, in-repo training."""
 
+from .backends import (
+    InterpBackend,
+    NeuralBackend,
+    SRBackend,
+    available_backends,
+    build_backend,
+)
+from .dispatch import DifficultyDispatcher, DispatchPlan, tile_difficulty
 from .gop_reuse import (
     REUSE_DIRTY_THRESHOLD,
     GOPSRCache,
@@ -8,20 +16,35 @@ from .gop_reuse import (
     warp_hr,
 )
 from .interpolate import FILTERS, bicubic, bilinear, lanczos, nearest, resize, upscale
-from .pretrained import PROFILES, default_sr_model, model_geometry, training_frames
+from .pretrained import (
+    PROFILES,
+    ZOO_ARCHS,
+    default_sr_model,
+    model_geometry,
+    training_frames,
+    zoo_sr_model,
+)
 from .runner import SRRunner
 from .training import PatchDataset, TrainReport, extract_patches, train_sr_model
 
 __all__ = [
+    "DifficultyDispatcher",
+    "DispatchPlan",
     "FILTERS",
     "GOPSRCache",
+    "InterpBackend",
+    "NeuralBackend",
     "PROFILES",
     "PatchDataset",
     "REUSE_DIRTY_THRESHOLD",
+    "SRBackend",
     "SRRunner",
     "TrainReport",
+    "ZOO_ARCHS",
+    "available_backends",
     "bicubic",
     "bilinear",
+    "build_backend",
     "composite_blocks",
     "dirty_block_mask",
     "default_sr_model",
@@ -30,8 +53,10 @@ __all__ = [
     "model_geometry",
     "nearest",
     "resize",
+    "tile_difficulty",
     "training_frames",
     "train_sr_model",
     "upscale",
     "warp_hr",
+    "zoo_sr_model",
 ]

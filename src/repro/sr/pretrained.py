@@ -21,15 +21,18 @@ from typing import Sequence
 import numpy as np
 
 from ..cache import cache_dir
-from ..neural.models import EDSR
+from ..neural.layers import Module
+from ..neural.models import EDSR, FSRCNNLite, QuantizedEDSR, QuickSRNet
 from ..neural.serialization import load_weights, save_weights
 from .training import extract_patches, train_sr_model
 
 __all__ = [
     "model_geometry",
     "default_sr_model",
+    "zoo_sr_model",
     "training_frames",
     "PROFILES",
+    "ZOO_ARCHS",
     "DEFAULT_TRAIN_CODEC_QUALITY",
 ]
 
@@ -73,17 +76,15 @@ def training_frames(
     return frames
 
 
-def default_sr_model(
-    scale: int = 2, profile: str = "experiment", force_retrain: bool = False
-) -> EDSR:
-    """Load (or train-and-cache) the default EDSR for ``scale``/``profile``."""
-    blocks, feats, epochs, per_frame = PROFILES.get(profile, (None,) * 4)
-    if blocks is None:
-        raise ValueError(
-            f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
-        )
-    model = EDSR(scale=scale, n_resblocks=blocks, n_feats=feats, seed=7)
-    path = cache_dir() / "weights" / f"edsr_{profile}_x{scale}.npz"
+def _load_or_train(
+    model: Module,
+    path: Path,
+    scale: int,
+    epochs: int,
+    per_frame: int,
+    force_retrain: bool,
+) -> Module:
+    """Shared cache-or-train path for every zoo architecture."""
     if path.exists() and not force_retrain:
         try:
             return load_weights(model, path)
@@ -108,3 +109,71 @@ def default_sr_model(
     train_sr_model(model, dataset, epochs=epochs, batch_size=8, lr=1.2e-3, seed=3)
     save_weights(model, path)
     return model
+
+
+def default_sr_model(
+    scale: int = 2, profile: str = "experiment", force_retrain: bool = False
+) -> EDSR:
+    """Load (or train-and-cache) the default EDSR for ``scale``/``profile``."""
+    blocks, feats, epochs, per_frame = PROFILES.get(profile, (None,) * 4)
+    if blocks is None:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
+        )
+    model = EDSR(scale=scale, n_resblocks=blocks, n_feats=feats, seed=7)
+    path = cache_dir() / "weights" / f"edsr_{profile}_x{scale}.npz"
+    return _load_or_train(model, path, scale, epochs, per_frame, force_retrain)
+
+
+#: Architectures :func:`zoo_sr_model` can build (neural zoo members; the
+#: interpolation backends in repro.sr.backends need no weights).
+ZOO_ARCHS = ("edsr", "edsr_int8", "fsrcnn", "quicksrnet")
+
+
+def zoo_sr_model(
+    arch: str = "edsr",
+    scale: int = 2,
+    profile: str = "experiment",
+    force_retrain: bool = False,
+) -> Module:
+    """Load (or train-and-cache) a model-zoo architecture.
+
+    Geometry derives from the shared ``PROFILES`` table so every zoo
+    member shrinks together under the test/experiment profiles:
+
+    * ``edsr`` — the default model (same cache file as
+      :func:`default_sr_model`);
+    * ``edsr_int8`` — the trained EDSR weights loaded into a
+      :class:`~repro.neural.models.QuantizedEDSR` and fake-quantized
+      (no separate cache: quantization is deterministic post-processing);
+    * ``fsrcnn`` — :class:`~repro.neural.models.FSRCNNLite`;
+    * ``quicksrnet`` — :class:`~repro.neural.models.QuickSRNet`.
+    """
+    blocks, feats, epochs, per_frame = PROFILES.get(profile, (None,) * 4)
+    if blocks is None:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
+        )
+    if arch == "edsr":
+        return default_sr_model(scale, profile, force_retrain)
+    if arch == "edsr_int8":
+        trained = default_sr_model(scale, profile, force_retrain)
+        model = QuantizedEDSR(scale=scale, n_resblocks=blocks, n_feats=feats, seed=7)
+        model.load_state_dict(trained.state_dict())
+        return model.quantize()
+    if arch == "fsrcnn":
+        model = FSRCNNLite(
+            scale=scale,
+            feats=feats,
+            shrink=max(4, feats // 2),
+            n_maps=blocks,
+            seed=7,
+        )
+    elif arch == "quicksrnet":
+        model = QuickSRNet(scale=scale, n_convs=blocks, feats=feats, seed=7)
+    else:
+        raise ValueError(
+            f"unknown zoo architecture {arch!r}; choose from {ZOO_ARCHS}"
+        )
+    path = cache_dir() / "weights" / f"{arch}_{profile}_x{scale}.npz"
+    return _load_or_train(model, path, scale, epochs, per_frame, force_retrain)

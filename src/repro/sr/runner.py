@@ -33,10 +33,19 @@ def _pad_reflect2d(
 ) -> np.ndarray:
     """Reflect-pad an (H, W, C) image, degrading to edge-replication when
     the image is smaller than the requested halo (np.pad's reflect mode
-    requires pad < dim)."""
+    requires pad < dim).
+
+    The degradation is chosen **per axis**: a short-but-wide tile whose
+    vertical halo exceeds its height still reflects horizontally, only
+    the vertical padding falls back to edge replication.
+    """
     h, w = image.shape[:2]
-    mode = "reflect" if max(top, bottom) < h and max(left, right) < w else "edge"
-    return np.pad(image, ((top, bottom), (left, right), (0, 0)), mode=mode)
+    mode_y = "reflect" if max(top, bottom) < h else "edge"
+    mode_x = "reflect" if max(left, right) < w else "edge"
+    if mode_y == mode_x:
+        return np.pad(image, ((top, bottom), (left, right), (0, 0)), mode=mode_y)
+    padded = np.pad(image, ((top, bottom), (0, 0), (0, 0)), mode=mode_y)
+    return np.pad(padded, ((0, 0), (left, right), (0, 0)), mode=mode_x)
 
 
 class SRRunner:
@@ -67,6 +76,35 @@ class SRRunner:
         if np.asarray(image).ndim == 2:
             result = result[:, :, 0]
         return np.clip(result, 0.0, 1.0)
+
+    @shaped(tiles="N H W C:n")
+    def upscale_batch(
+        self, tiles: np.ndarray, batch_size: int = 64
+    ) -> np.ndarray:
+        """Upscale an ``(N, H, W, C)`` stack of equal-size tiles.
+
+        The batched seam the :mod:`repro.sr.backends` zoo and the
+        dispatcher execute through: one model forward per ``batch_size``
+        chunk, output ``(N, H*s, W*s, C)`` in tile order.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        tiles = np.asarray(tiles)
+        n, _, _, c = tiles.shape
+        s = self.scale
+        if n == 0:
+            h, w = tiles.shape[1:3]
+            return np.empty((0, h * s, w * s, c), dtype=get_inference_dtype())
+        batch = tiles.transpose(0, 3, 1, 2).astype(
+            get_inference_dtype(), copy=False
+        )
+        with no_grad():
+            chunks = [
+                self.model(Tensor(batch[start : start + batch_size])).numpy()
+                for start in range(0, n, batch_size)
+            ]
+        out = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        return np.clip(out.transpose(0, 2, 3, 1), 0.0, 1.0)
 
     @shaped(image="H W:n|H W C:n")
     def upscale_tiled(

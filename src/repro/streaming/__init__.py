@@ -32,6 +32,7 @@ from .server import GameStreamServer
 from .session import (
     FrameRecord,
     SessionResult,
+    apply_client_knobs,
     energy_from_trace,
     energy_of_frame,
     run_session,
@@ -67,6 +68,7 @@ __all__ = [
     "StreamGeometry",
     "StreamingClient",
     "TransmissionSplit",
+    "apply_client_knobs",
     "energy_from_trace",
     "energy_of_frame",
     "modeled_pipeline_schedule",

@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..codec.decoder import DecodedFrame, VideoDecoder
-from ..codec.residual import block_pixel_counts
+from ..codec.residual import block_energy, block_pixel_counts
 from ..contracts import expect
 from ..codec.motion import compensate, upscale_motion_vectors
 from ..core.roi_search import RoIBox
@@ -48,6 +48,8 @@ from ..core.upscaler import RoIAssistedUpscaler
 from ..platform import latency as lat
 from ..platform.device import DeviceProfile
 from ..platform.energy import Component
+from ..sr.backends import SRBackend
+from ..sr.dispatch import DifficultyDispatcher, DispatchPlan
 from ..sr.gop_reuse import (
     REUSE_DIRTY_THRESHOLD,
     GOPSRCache,
@@ -171,7 +173,168 @@ def _refresh_reuse_meta(geometry, roi: RoIBox, reason: str, block: int) -> Dict:
     )
 
 
-class GameStreamSRClient(StreamingClient):
+class _ZooSRExecution:
+    """Mixin: model-zoo SR execution knobs for the RoI-SR clients.
+
+    Two mutually exclusive knobs (also exclusive with ``gop_reuse``):
+
+    * ``sr_backend`` — swap the RoI DNN for any
+      :class:`~repro.sr.backends.SRBackend`; the modeled RoI pass rides
+      the backend's own latency/energy anchors (same-engine work
+      serializes with the GPU bilinear rest, distinct engines run in
+      parallel, as in Sec. IV-C).
+    * ``dispatch`` — a :class:`~repro.sr.dispatch.DifficultyDispatcher`
+      routes RoI tiles across a backend pool per frame; engine times
+      come from the plan, evaluated at the *modeled* per-tile pixel
+      load so budgets compare against the real-time deadline.
+
+    Both default to ``None`` (off): the default path is untouched and
+    stays byte-identical to the paper configuration.
+    """
+
+    sr_backend: Optional[SRBackend] = None
+    dispatch: Optional[DifficultyDispatcher] = None
+
+    def _init_sr_execution(
+        self,
+        sr_backend: Optional[SRBackend],
+        dispatch: Optional[DifficultyDispatcher],
+    ) -> None:
+        self.sr_backend = None
+        self.dispatch = None
+        if sr_backend is not None:
+            self.set_sr_backend(sr_backend)
+        if dispatch is not None:
+            self.set_dispatch(dispatch)
+
+    def _validate_sr_knobs(self) -> None:
+        active = [
+            name
+            for name, on in (
+                ("gop_reuse", bool(getattr(self, "gop_reuse", False))),
+                ("sr_backend", self.sr_backend is not None),
+                ("dispatch", self.dispatch is not None),
+            )
+            if on
+        ]
+        if len(active) > 1:
+            raise ValueError(
+                "mutually exclusive SR execution knobs enabled together: "
+                + ", ".join(active)
+            )
+
+    def set_sr_backend(self, backend: SRBackend) -> None:
+        """Route the RoI SR pass through a model-zoo backend."""
+        if backend.scale != self.upscaler.scale:
+            raise ValueError(
+                f"backend scale {backend.scale} != client scale "
+                f"{self.upscaler.scale}"
+            )
+        self.sr_backend = backend
+        self.upscaler = RoIAssistedUpscaler(backend)
+        self._validate_sr_knobs()
+
+    def set_dispatch(self, dispatcher: DifficultyDispatcher) -> None:
+        """Route RoI tiles across a backend pool under a latency budget."""
+        if dispatcher.scale != self.upscaler.scale:
+            raise ValueError(
+                f"dispatcher scale {dispatcher.scale} != client scale "
+                f"{self.upscaler.scale}"
+            )
+        self.dispatch = dispatcher
+        self._validate_sr_knobs()
+
+    # -- execution --------------------------------------------------------
+    def _roi_residual_energy(
+        self, decoded: DecodedFrame, roi: RoIBox
+    ) -> Optional[np.ndarray]:
+        """Codec residual energies over the RoI tile grid, if available.
+
+        P-frames carry a decoded residual; its per-tile energy biases
+        the difficulty metric toward tiles the codec itself found hard
+        to predict. Reference frames have no meaningful residual signal.
+        """
+        if decoded.is_reference:
+            return None
+        residual = decoded.residual_rgb
+        if residual is None:
+            return None
+        return block_energy(roi.extract(residual), self.dispatch.tile)
+
+    def _dispatch_upscale(
+        self, frame: ServerFrame, decoded: DecodedFrame, modeled_roi_px: float
+    ) -> Tuple[np.ndarray, DispatchPlan]:
+        """Run the dispatcher over the RoI; bilinear everywhere else."""
+        geometry = frame.geometry
+        roi = frame.roi
+        s = geometry.scale
+        lr = decoded.rgb
+        hr = bilinear(
+            lr, geometry.eval_lr_height * s, geometry.eval_lr_width * s
+        )
+        tile = self.dispatch.tile
+        n_tiles = (-(-roi.height // tile)) * (-(-roi.width // tile))
+        hr_roi, plan = self.dispatch.run(
+            roi.extract(lr),
+            self.device,
+            extra_energy=self._roi_residual_energy(decoded, roi),
+            tile_pixels=modeled_roi_px / n_tiles,
+        )
+        roi_hr = roi.scaled(s)
+        hr[roi_hr.y : roi_hr.y_end, roi_hr.x : roi_hr.x_end] = hr_roi
+        return hr, plan
+
+    # -- modeling ---------------------------------------------------------
+    def _model_backend_roi(
+        self, st, roi_px: float, gpu_ms: float, merge_ms: float,
+        merge_serial: bool = False,
+    ) -> None:
+        """Model the RoI pass on ``sr_backend`` beside the GPU bilinear.
+
+        Same-engine work serializes, distinct engines run in parallel.
+        ``merge_serial`` keeps each design's merge convention: the
+        SR-integrated decoder folds the merge into the upscale span
+        (latency only), GameStreamSR defers it to display but charges
+        its GPU energy here (Fig. 12).
+        """
+        b = self.sr_backend
+        sr_ms = b.latency_ms(roi_px, self.device)
+        stage_ms = sr_ms + gpu_ms if b.engine == "gpu" else max(sr_ms, gpu_ms)
+        st.modeled_ms = stage_ms + (merge_ms if merge_serial else 0.0)
+        st.add_energy(b.component, b.energy_charged_ms(sr_ms, self.device))
+        st.add_energy(
+            Component.GPU, gpu_ms if merge_serial else gpu_ms + merge_ms
+        )
+        st.meta(
+            sr_backend=b.name, sr_ms=sr_ms, gpu_ms=gpu_ms, merge_ms=merge_ms,
+            modeled_roi_pixels=roi_px,
+        )
+
+    def _model_dispatch_roi(
+        self, st, plan: DispatchPlan, roi_px: float, gpu_ms: float,
+        merge_ms: float, merge_serial: bool = False,
+    ) -> None:
+        """Model the dispatched RoI pass: engines run concurrently, the
+        non-RoI bilinear joins the plan's GPU engine total."""
+        engine_ms = dict(plan.engine_ms)
+        engine_ms["gpu"] = engine_ms.get("gpu", 0.0) + gpu_ms
+        st.modeled_ms = max(engine_ms.values()) + (
+            merge_ms if merge_serial else 0.0
+        )
+        for b in self.dispatch.backends:
+            ms = plan.backend_ms.get(b.name, 0.0)
+            if ms > 0.0:
+                st.add_energy(b.component, b.energy_charged_ms(ms, self.device))
+        st.add_energy(
+            Component.GPU, gpu_ms if merge_serial else gpu_ms + merge_ms
+        )
+        st.meta(
+            gpu_ms=gpu_ms, merge_ms=merge_ms, modeled_roi_pixels=roi_px,
+            dispatch=plan.meta(),
+        )
+
+
+class GameStreamSRClient(_ZooSRExecution, StreamingClient):
     """The paper's RoI-assisted hybrid client (Fig. 9).
 
     With ``gop_reuse`` enabled (default off — the default path stays
@@ -197,6 +360,8 @@ class GameStreamSRClient(StreamingClient):
         modeled_roi_side: Optional[int] = None,
         gop_reuse: bool = False,
         reuse_threshold: float = REUSE_DIRTY_THRESHOLD,
+        sr_backend: Optional[SRBackend] = None,
+        dispatch: Optional[DifficultyDispatcher] = None,
     ) -> None:
         """``modeled_roi_side`` pins the RoI side at the modeled geometry
         (the negotiated plan side, e.g. ~300 px on 720p); by default the
@@ -207,6 +372,7 @@ class GameStreamSRClient(StreamingClient):
         self.modeled_roi_side = modeled_roi_side
         self.gop_reuse = gop_reuse
         self._reuse = GOPSRCache(threshold=reuse_threshold)
+        self._init_sr_execution(sr_backend, dispatch)
 
     def reset(self) -> None:
         super().reset()
@@ -228,6 +394,11 @@ class GameStreamSRClient(StreamingClient):
 
         roi_px = self._modeled_roi_pixels(frame)
         non_roi_px = geometry.modeled_lr_pixels - roi_px
+        if self.sr_backend is not None:
+            gpu_ms = lat.gpu_bilinear_ms(non_roi_px, self.device)
+            merge_ms = lat.merge_ms(geometry.modeled_hr_pixels, self.device)
+            self._model_backend_roi(st, roi_px, gpu_ms, merge_ms)
+            return result.frame
         npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
         gpu_ms = lat.gpu_bilinear_ms(non_roi_px, self.device)
         merge_ms = lat.merge_ms(geometry.modeled_hr_pixels, self.device)
@@ -246,6 +417,17 @@ class GameStreamSRClient(StreamingClient):
     def _upscale_stage(
         self, frame: ServerFrame, decoded: DecodedFrame, trace: FrameTrace
     ) -> np.ndarray:
+        if self.dispatch is not None:
+            geometry = frame.geometry
+            roi_px = self._modeled_roi_pixels(frame)
+            with trace.stage("upscale") as st:
+                hr, plan = self._dispatch_upscale(frame, decoded, roi_px)
+                gpu_ms = lat.gpu_bilinear_ms(
+                    geometry.modeled_lr_pixels - roi_px, self.device
+                )
+                merge_ms = lat.merge_ms(geometry.modeled_hr_pixels, self.device)
+                self._model_dispatch_roi(st, plan, roi_px, gpu_ms, merge_ms)
+            return hr
         if not self.gop_reuse:
             with trace.stage("upscale") as st:
                 hr = self._full_roi_sr(frame, decoded, st)
@@ -489,7 +671,7 @@ class FullFrameSRClient(StreamingClient):
         return hr
 
 
-class SRIntegratedDecoderClient(StreamingClient):
+class SRIntegratedDecoderClient(_ZooSRExecution, StreamingClient):
     """Fig. 15 future-work prototype: RoI-SR only on reference frames.
 
     Non-reference frames bypass the NPU entirely: the (hypothetically
@@ -523,12 +705,15 @@ class SRIntegratedDecoderClient(StreamingClient):
         runner: SRRunner,
         gop_reuse: bool = False,
         reuse_threshold: float = REUSE_DIRTY_THRESHOLD,
+        sr_backend: Optional[SRBackend] = None,
+        dispatch: Optional[DifficultyDispatcher] = None,
     ) -> None:
         super().__init__(device)
         self.upscaler = RoIAssistedUpscaler(runner)
         self.gop_reuse = gop_reuse
         self.reuse_threshold = reuse_threshold
         self._hr_reference: Optional[np.ndarray] = None
+        self._init_sr_execution(sr_backend, dispatch)
 
     def reset(self) -> None:
         super().reset()
@@ -556,18 +741,37 @@ class SRIntegratedDecoderClient(StreamingClient):
         s = geometry.scale
         with trace.stage("upscale") as st:
             if decoded.is_reference or self._hr_reference is None:
-                result = self.upscaler.upscale(decoded.rgb, frame.roi)
-                hr = result.frame
                 roi_px = geometry.modeled_roi_pixels(frame.roi)
-                npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
-                gpu_ms = lat.gpu_bilinear_ms(
-                    geometry.modeled_lr_pixels - roi_px, self.device
-                )
-                st.modeled_ms = max(npu_ms, gpu_ms) + lat.merge_ms(
-                    geometry.modeled_hr_pixels, self.device
-                )
-                st.add_energy(Component.NPU, npu_ms)
-                st.add_energy(Component.GPU, gpu_ms)
+                if self.dispatch is not None:
+                    hr, plan = self._dispatch_upscale(frame, decoded, roi_px)
+                    gpu_ms = lat.gpu_bilinear_ms(
+                        geometry.modeled_lr_pixels - roi_px, self.device
+                    )
+                    merge_ms = lat.merge_ms(geometry.modeled_hr_pixels, self.device)
+                    self._model_dispatch_roi(
+                        st, plan, roi_px, gpu_ms, merge_ms, merge_serial=True
+                    )
+                elif self.sr_backend is not None:
+                    hr = self.upscaler.upscale(decoded.rgb, frame.roi).frame
+                    gpu_ms = lat.gpu_bilinear_ms(
+                        geometry.modeled_lr_pixels - roi_px, self.device
+                    )
+                    merge_ms = lat.merge_ms(geometry.modeled_hr_pixels, self.device)
+                    self._model_backend_roi(
+                        st, roi_px, gpu_ms, merge_ms, merge_serial=True
+                    )
+                else:
+                    result = self.upscaler.upscale(decoded.rgb, frame.roi)
+                    hr = result.frame
+                    npu_ms = lat.npu_sr_latency_ms(roi_px, self.device)
+                    gpu_ms = lat.gpu_bilinear_ms(
+                        geometry.modeled_lr_pixels - roi_px, self.device
+                    )
+                    st.modeled_ms = max(npu_ms, gpu_ms) + lat.merge_ms(
+                        geometry.modeled_hr_pixels, self.device
+                    )
+                    st.add_energy(Component.NPU, npu_ms)
+                    st.add_energy(Component.GPU, gpu_ms)
                 st.meta(path="roi_sr")
                 if self.gop_reuse:
                     reason = (

@@ -84,7 +84,7 @@ from .session import (
     SessionResult,
     _adaptive_eval_side,
     _consume_frame,
-    _require_gop_reuse,
+    apply_client_knobs,
 )
 
 __all__ = [
@@ -223,6 +223,8 @@ def run_session_pipelined(
     adaptive: Optional[AdaptiveRoIController] = None,
     skip_dropped: bool = False,
     gop_reuse: bool = False,
+    sr_backend=None,
+    dispatch=None,
     depth: int = 2,
     workers: int = 1,
     slot_bytes: int = DEFAULT_SLOT_BYTES,
@@ -258,10 +260,12 @@ def run_session_pipelined(
         raise ValueError(f"pipeline depth must be >= 1, got {depth}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    if gop_reuse:
-        # Client stages run in the parent process, so the GOP cache sees
-        # frames in order exactly as in the serial loop.
-        _require_gop_reuse(client)
+    # Client stages run in the parent process, so the GOP cache (and any
+    # zoo backend / dispatcher state) sees frames in order exactly as in
+    # the serial loop.
+    apply_client_knobs(
+        client, gop_reuse=gop_reuse, sr_backend=sr_backend, dispatch=dispatch
+    )
 
     client.reset()
     metrics = MetricsRegistry()

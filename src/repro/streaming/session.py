@@ -50,6 +50,7 @@ from .server import GameStreamServer
 __all__ = [
     "FrameRecord",
     "SessionResult",
+    "apply_client_knobs",
     "run_session",
     "energy_of_frame",
     "energy_from_trace",
@@ -311,19 +312,47 @@ def _apply_adaptive_side(
         client.modeled_roi_side = adaptive.side
 
 
-def _require_gop_reuse(client: StreamingClient) -> None:
-    """Enable GOP-aware SR reuse on a client that supports it.
+def _require_knob(client: StreamingClient, knob: str) -> None:
+    """Reject a per-session knob the client design does not expose.
 
-    Only the designs that keep a warp-reusable SR output expose the knob
-    (``GameStreamSRClient``, ``SRIntegratedDecoderClient``); asking any
-    other design is a configuration error, not a silent no-op.
+    Only the RoI-SR designs (``GameStreamSRClient``,
+    ``SRIntegratedDecoderClient``) carry the optional execution knobs;
+    asking any other design is a configuration error, not a silent
+    no-op.
     """
-    if not hasattr(client, "gop_reuse"):
+    if not hasattr(client, knob):
         raise ValueError(
-            f"design {client.design!r} does not support gop_reuse; use "
+            f"design {client.design!r} does not support {knob}; use "
             "GameStreamSRClient or SRIntegratedDecoderClient"
         )
-    client.gop_reuse = True
+
+
+def apply_client_knobs(
+    client: StreamingClient,
+    *,
+    gop_reuse: bool = False,
+    sr_backend=None,
+    dispatch=None,
+) -> None:
+    """Validate and enable the per-session client execution knobs.
+
+    One shared entry point for every caller (serial session, pipelined
+    session, CLI), so support checks and the mutual-exclusion rule live
+    in exactly one place. All-defaults is a no-op.
+    """
+    if gop_reuse:
+        _require_knob(client, "gop_reuse")
+        client.gop_reuse = True
+    if sr_backend is not None:
+        _require_knob(client, "sr_backend")
+        client.set_sr_backend(sr_backend)
+    if dispatch is not None:
+        _require_knob(client, "dispatch")
+        client.set_dispatch(dispatch)
+    if gop_reuse and hasattr(client, "_validate_sr_knobs"):
+        # set_sr_backend/set_dispatch validate on their own; a lone
+        # gop_reuse=True must still catch a knob set at construction.
+        client._validate_sr_knobs()
 
 
 def _skipped_client_result(frame: ServerFrame, reason: str) -> ClientFrameResult:
@@ -464,6 +493,8 @@ def run_session(
     adaptive: Optional[AdaptiveRoIController] = None,
     skip_dropped: bool = False,
     gop_reuse: bool = False,
+    sr_backend=None,
+    dispatch=None,
 ) -> SessionResult:
     """Stream ``n_frames`` through ``server`` -> ``client`` and aggregate.
 
@@ -498,13 +529,20 @@ def run_session(
     mandatory full refresh on I-frames and reference-chain breaks. With
     the default ``False`` the session traces stay byte-identical to the
     per-frame-SR configuration (pinned by the equivalence tests).
+
+    ``sr_backend`` / ``dispatch`` (default off) swap the RoI SR executor
+    for a model-zoo :class:`~repro.sr.backends.SRBackend` or a
+    :class:`~repro.sr.dispatch.DifficultyDispatcher` on the clients that
+    support them; mutually exclusive with each other and with
+    ``gop_reuse`` (see :func:`apply_client_knobs`).
     """
     if n_frames < 1:
         raise ValueError(f"n_frames must be >= 1, got {n_frames}")
     if lpips_stride < 1:
         raise ValueError(f"lpips_stride must be >= 1, got {lpips_stride}")
-    if gop_reuse:
-        _require_gop_reuse(client)
+    apply_client_knobs(
+        client, gop_reuse=gop_reuse, sr_backend=sr_backend, dispatch=dispatch
+    )
     client.reset()
     metrics = MetricsRegistry()
     result = SessionResult(

@@ -1,0 +1,163 @@
+"""SRBackend zoo: latency/energy anchors, batch execution, construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platform.device import samsung_tab_s8
+from repro.platform.energy import Component
+from repro.platform.latency import (
+    cpu_bicubic_ms,
+    gpu_bilinear_ms,
+    npu_sr_latency_ms,
+)
+from repro.sr.backends import (
+    NeuralBackend,
+    SRBackend,
+    available_backends,
+    build_backend,
+)
+from repro.sr.interpolate import bicubic, bilinear
+
+
+@pytest.fixture(scope="module")
+def device():
+    return samsung_tab_s8()
+
+
+class TestZooRegistry:
+    def test_available_names(self):
+        names = available_backends()
+        assert names == (
+            "edsr", "edsr_int8", "fsrcnn", "quicksrnet",
+            "bicubic_cpu", "bilinear_gpu",
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown SR backend"):
+            build_backend("espcn")
+
+    def test_runner_scale_mismatch_rejected(self, tiny_runner):
+        with pytest.raises(ValueError, match="scale"):
+            build_backend("edsr", scale=3, runner=tiny_runner)
+
+    def test_interp_members_need_no_weights(self):
+        for name in ("bicubic_cpu", "bilinear_gpu"):
+            backend = build_backend(name)
+            assert isinstance(backend, SRBackend)
+            assert name in backend.describe()
+
+
+class TestLatencyAnchors:
+    def test_edsr_is_exactly_the_reference_curve(self, device, tiny_runner):
+        backend = build_backend("edsr", runner=tiny_runner)
+        for px in (1.0, 90_000.0, 921_600.0):
+            assert backend.latency_ms(px, device) == npu_sr_latency_ms(px, device)
+
+    def test_scaled_npu_members(self, device, tiny_runner):
+        # Construct directly on the shared runner: the anchor fields are
+        # what differ between zoo members, not the weights.
+        cases = {
+            "fsrcnn": device.fsrcnn_npu_latency_scale,
+            "quicksrnet": device.quicksrnet_npu_latency_scale,
+            "edsr_int8": device.edsr_int8_npu_latency_scale,
+        }
+        for name, scale in cases.items():
+            backend = NeuralBackend(
+                name, tiny_runner, quality_rank=1,
+                latency_scale_field=f"{name}_npu_latency_scale",
+            )
+            assert backend.latency_ms(90_000.0, device) == pytest.approx(
+                npu_sr_latency_ms(90_000.0, device) * scale
+            )
+            assert scale < 1.0  # every alternative undercuts EDSR
+
+    def test_interp_members_ride_platform_anchors(self, device):
+        assert build_backend("bilinear_gpu").latency_ms(
+            50_000.0, device
+        ) == gpu_bilinear_ms(50_000.0, device)
+        assert build_backend("bicubic_cpu").latency_ms(
+            50_000.0, device
+        ) == cpu_bicubic_ms(50_000.0, device)
+
+    def test_int8_energy_derated(self, device, tiny_runner):
+        backend = NeuralBackend(
+            "edsr_int8", tiny_runner, quality_rank=1,
+            latency_scale_field="edsr_int8_npu_latency_scale",
+            power_scale_field="edsr_int8_npu_power_scale",
+        )
+        ms = backend.latency_ms(90_000.0, device)
+        assert backend.energy_charged_ms(ms, device) == pytest.approx(
+            ms * device.edsr_int8_npu_power_scale
+        )
+        # The default charge is the latency itself.
+        edsr = build_backend("edsr", runner=tiny_runner)
+        assert edsr.energy_charged_ms(ms, device) == ms
+
+    def test_engine_and_component_wiring(self, device, tiny_runner):
+        assert build_backend("edsr", runner=tiny_runner).engine == "npu"
+        assert build_backend("edsr", runner=tiny_runner).component is Component.NPU
+        gpu = build_backend("bilinear_gpu")
+        assert (gpu.engine, gpu.component) == ("gpu", Component.GPU)
+        cpu = build_backend("bicubic_cpu")
+        assert (cpu.engine, cpu.component) == ("cpu", Component.CPU)
+
+
+class TestExecution:
+    def test_neural_upscale_matches_runner(self, tiny_runner, rng):
+        backend = build_backend("edsr", runner=tiny_runner)
+        img = rng.uniform(size=(12, 16, 3))
+        np.testing.assert_array_equal(
+            backend.upscale(img), tiny_runner.upscale(img)
+        )
+
+    def test_neural_batch_shape(self, tiny_runner, rng):
+        backend = build_backend("edsr", runner=tiny_runner)
+        tiles = rng.uniform(size=(3, 8, 8, 3))
+        out = backend.upscale_batch(tiles)
+        assert out.shape == (3, 16, 16, 3)
+
+    def test_interp_batch_matches_per_tile_filter(self, rng):
+        tiles = rng.uniform(size=(4, 6, 6, 3))
+        for name, filt in (("bilinear_gpu", bilinear), ("bicubic_cpu", bicubic)):
+            backend = build_backend(name)
+            out = backend.upscale_batch(tiles)
+            assert out.shape == (4, 12, 12, 3)
+            for i in range(4):
+                np.testing.assert_array_equal(out[i], filt(tiles[i], 12, 12))
+
+    def test_interp_empty_batch(self):
+        backend = build_backend("bilinear_gpu")
+        out = backend.upscale_batch(np.empty((0, 8, 8, 3)))
+        assert out.shape == (0, 16, 16, 3)
+
+
+class TestZooLoader:
+    def test_quicksrnet_trains_and_caches(self):
+        from repro.cache import cache_dir
+        from repro.neural.models import QuickSRNet
+        from repro.sr.pretrained import zoo_sr_model
+
+        model = zoo_sr_model("quicksrnet", profile="tiny")
+        assert isinstance(model, QuickSRNet)
+        path = cache_dir() / "weights" / "quicksrnet_tiny_x2.npz"
+        assert path.exists()
+        again = zoo_sr_model("quicksrnet", profile="tiny")
+        state = model.state_dict()
+        for key, value in again.state_dict().items():
+            np.testing.assert_array_equal(value, state[key])
+
+    def test_edsr_int8_is_quantized_default_weights(self, tiny_model):
+        from repro.neural.models import QuantizedEDSR
+        from repro.sr.pretrained import zoo_sr_model
+
+        model = zoo_sr_model("edsr_int8", profile="tiny")
+        assert isinstance(model, QuantizedEDSR)
+        assert model.quantized is True
+
+    def test_unknown_arch_rejected(self):
+        from repro.sr.pretrained import zoo_sr_model
+
+        with pytest.raises(ValueError, match="unknown zoo architecture"):
+            zoo_sr_model("espcn", profile="tiny")

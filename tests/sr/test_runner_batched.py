@@ -95,3 +95,94 @@ class TestBatchedInterface:
     def test_bad_batch_size_rejected(self, tiny_runner, frame):
         with pytest.raises(ValueError, match="batch_size"):
             tiny_runner.upscale_tiled(frame, tile=32, overlap=8, batch_size=0)
+
+
+class TestUpscaleWindowsEdgeCases:
+    def test_empty_window_list(self, tiny_runner, frame):
+        out = tiny_runner.upscale_windows(
+            frame, np.empty((0, 2), dtype=np.int64), tile=16
+        )
+        s = tiny_runner.scale
+        assert out.shape == (0, 16 * s, 16 * s, 3)
+
+    def test_interior_window_matches_whole_frame(self, tiny_runner, frame):
+        # A window whose halo'd receptive field stays inside the frame
+        # sees exactly the same context as whole-frame inference.
+        s = tiny_runner.scale
+        whole = tiny_runner.upscale(frame)
+        tile = 16
+        oy, ox = 12, 20
+        out = tiny_runner.upscale_windows(
+            frame, np.array([[oy, ox]]), tile=tile, halo=8
+        )
+        np.testing.assert_allclose(
+            out[0],
+            whole[oy * s : (oy + tile) * s, ox * s : (ox + tile) * s],
+            rtol=0, atol=1e-5,
+        )
+
+    def test_windows_flush_against_borders(self, tiny_runner, frame):
+        # Origins at every corner, including the bottom-right where the
+        # halo (and for the last one, part of the tile) reads padding.
+        h, w = frame.shape[:2]
+        tile, s = 16, tiny_runner.scale
+        origins = np.array(
+            [[0, 0], [0, w - tile], [h - tile, 0], [h - tile, w - tile]]
+        )
+        out = tiny_runner.upscale_windows(frame, origins, tile=tile, halo=8)
+        assert out.shape == (4, tile * s, tile * s, 3)
+        assert np.isfinite(out).all()
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_window_overhanging_frame_edge(self, tiny_runner, frame):
+        # Tile size not dividing the RoI: the last window starts inside
+        # the frame but runs past its edge and must read reflect/edge
+        # padding instead of raising.
+        h, w = frame.shape[:2]
+        tile, s = 16, tiny_runner.scale
+        origins = np.array([[h - 7, w - 5]])  # 9 + 11 px of overhang
+        out = tiny_runner.upscale_windows(frame, origins, tile=tile, halo=4)
+        assert out.shape == (1, tile * s, tile * s, 3)
+        assert np.isfinite(out).all()
+
+    def test_origin_order_preserved_and_chunking_equivalent(
+        self, tiny_runner, frame
+    ):
+        origins = np.array([[8, 8], [0, 24], [20, 4]])
+        a = tiny_runner.upscale_windows(frame, origins, tile=12, halo=4)
+        b = tiny_runner.upscale_windows(
+            frame, origins, tile=12, halo=4, batch_size=1
+        )
+        np.testing.assert_allclose(a, b, rtol=0, atol=1e-6)
+        # Reversing the origins reverses the output stack.
+        c = tiny_runner.upscale_windows(frame, origins[::-1], tile=12, halo=4)
+        np.testing.assert_allclose(c, a[::-1], rtol=0, atol=1e-6)
+
+    def test_negative_origin_rejected(self, tiny_runner, frame):
+        with pytest.raises(ValueError, match=">= 0"):
+            tiny_runner.upscale_windows(frame, np.array([[-1, 0]]), tile=8)
+
+
+class TestUpscaleBatch:
+    def test_empty_stack(self, tiny_runner):
+        s = tiny_runner.scale
+        out = tiny_runner.upscale_batch(np.empty((0, 12, 10, 3)))
+        assert out.shape == (0, 12 * s, 10 * s, 3)
+
+    def test_matches_per_image_upscale(self, tiny_runner, rng):
+        tiles = rng.uniform(size=(3, 10, 12, 3))
+        batched = tiny_runner.upscale_batch(tiles)
+        for i in range(3):
+            np.testing.assert_allclose(
+                batched[i], tiny_runner.upscale(tiles[i]), rtol=0, atol=1e-5
+            )
+
+    def test_chunking_equivalent(self, tiny_runner, rng):
+        tiles = rng.uniform(size=(5, 8, 8, 3))
+        a = tiny_runner.upscale_batch(tiles, batch_size=2)
+        b = tiny_runner.upscale_batch(tiles, batch_size=64)
+        np.testing.assert_allclose(a, b, rtol=0, atol=1e-6)
+
+    def test_bad_batch_size_rejected(self, tiny_runner, rng):
+        with pytest.raises(ValueError, match="batch_size"):
+            tiny_runner.upscale_batch(rng.uniform(size=(1, 8, 8, 3)), batch_size=0)
