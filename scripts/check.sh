@@ -41,6 +41,13 @@ echo "== model-zoo backend smoke (REPRO_CONTRACTS=1, serial + pipelined) =="
 REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py --pipelined --sr-backend quicksrnet
 REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py --pipelined --dispatch
 
+echo "== network-scenario + ABR smoke (REPRO_CONTRACTS=1, serial + pipelined) =="
+# Trace-driven time-varying link with skip-dropped transport, then the
+# ABR loop co-adapting quality/GOP/RoI/backend on top of it — both with
+# pipelined byte-identity of the canonical trace exports.
+REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py --pipelined --scenario wifi_congested
+REPRO_CONTRACTS=1 python scripts/pipeline_smoke.py --pipelined --scenario lte_drive --abr
+
 echo "== hot-path bench (smoke) =="
 python benchmarks/bench_hotpath.py --smoke >/dev/null
 echo "ok: wrote BENCH_hotpath.smoke.json"
@@ -64,3 +71,7 @@ echo "ok: wrote BENCH_gopsr.smoke.json"
 echo "== model-zoo bench (smoke) =="
 python benchmarks/bench_zoo.py --smoke >/dev/null
 echo "ok: wrote BENCH_zoo.smoke.json"
+
+echo "== network-scenario bench (smoke) =="
+python benchmarks/bench_netscen.py --smoke >/dev/null
+echo "ok: wrote BENCH_netscen.smoke.json"

@@ -18,8 +18,15 @@ exclusive) restrict the matrix to the RoI designs and stream them with
 the corresponding SR-execution knob on, asserting its per-frame ledger
 (reuse decisions / backend name / dispatch counters) is recorded.
 
+``--scenario NAME`` streams over a trace-driven time-varying link
+(skip-dropped transport, 100 ms delivery budget) and asserts the
+``net.scenario/*`` ledger; ``--abr`` (requires ``--scenario``) closes
+the bitrate control loop on the RoI designs and asserts the ``abr/*``
+ledger — both still byte-identical between executors with --pipelined.
+
 Usage: PYTHONPATH=src python scripts/pipeline_smoke.py [--out DIR] [--pipelined]
            [--gop-reuse | --sr-backend NAME | --dispatch]
+           [--scenario NAME [--abr]]
 """
 
 from __future__ import annotations
@@ -120,9 +127,27 @@ def main(argv=None) -> int:
         help="smoke only the RoI designs with difficulty-aware tile "
         "dispatch (EDSR + bilinear_gpu pool, half-deadline budget)",
     )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="stream over a trace-driven time-varying link (see "
+        "repro.network.trace.available_scenarios) with skip-dropped "
+        "transport and assert the net.scenario/* ledger is recorded",
+    )
+    parser.add_argument(
+        "--abr",
+        action="store_true",
+        help="close the bitrate control loop on the RoI designs (requires "
+        "--scenario; subsumes the static SR-execution knobs)",
+    )
     args = parser.parse_args(argv)
     if sum(map(bool, (args.gop_reuse, args.sr_backend, args.dispatch))) > 1:
         parser.error("--gop-reuse, --sr-backend and --dispatch are exclusive")
+    if args.abr and not args.scenario:
+        parser.error("--abr requires --scenario")
+    if args.abr and (args.gop_reuse or args.sr_backend or args.dispatch):
+        parser.error("--abr subsumes --gop-reuse/--sr-backend/--dispatch")
 
     from repro.core.roi_sizing import plan_roi_window
     from repro.platform.device import get_device
@@ -154,8 +179,33 @@ def main(argv=None) -> int:
             [build_backend("edsr", runner=runner), build_backend("bilinear_gpu")],
             budget_ms=REALTIME_DEADLINE_MS / 2,
         )
-    knobs = dict(gop_reuse=args.gop_reuse, sr_backend=sr_backend, dispatch=dispatch)
-    roi_only = args.gop_reuse or sr_backend is not None or dispatch is not None
+    net_budget_ms = 100.0
+
+    def make_knobs():
+        # A fresh knob set per run: the ABR controller is stateful, so
+        # the serial and pipelined runs must each get their own instance
+        # (the scenario link is rebuilt by name inside run_session).
+        knobs = dict(
+            gop_reuse=args.gop_reuse, sr_backend=sr_backend, dispatch=dispatch
+        )
+        if args.scenario:
+            knobs["scenario"] = args.scenario
+            knobs["link_deadline_ms"] = net_budget_ms
+            knobs["skip_dropped"] = True
+        if args.abr:
+            from repro.streaming import build_abr
+
+            del knobs["gop_reuse"], knobs["sr_backend"], knobs["dispatch"]
+            knobs["abr"] = build_abr(
+                plan.side, plan.min_side, 720,
+                runner=runner, profile="tiny", net_budget_ms=net_budget_ms,
+            )
+        return knobs
+
+    roi_only = (
+        args.gop_reuse or sr_backend is not None or dispatch is not None
+        or args.abr
+    )
 
     def make_server(roi_side):
         return GameStreamServer(
@@ -165,9 +215,19 @@ def main(argv=None) -> int:
     out_dir = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="traces-"))
     for client, roi_side in build_clients(device, runner, plan, roi_only):
         result = run_session(
-            make_server(roi_side), client, n_frames=N_FRAMES, **knobs,
+            make_server(roi_side), client, n_frames=N_FRAMES, **make_knobs(),
         )
         check_session(result, out_dir)
+        if args.scenario:
+            # Every frame transmitted over the trace-driven link records
+            # the conditions it saw.
+            assert result.metrics.counter("net.scenario/frames").value == N_FRAMES, (
+                f"net.scenario/frames not recorded for {result.design}"
+            )
+        if args.abr:
+            assert result.metrics.counter("abr/frames").value == N_FRAMES, (
+                f"abr/frames not recorded for {result.design}"
+            )
         if args.gop_reuse:
             # Every frame of a reuse run carries the reuse decision record.
             assert result.metrics.counter("sr.reuse/frames").value == N_FRAMES, (
@@ -200,7 +260,7 @@ def main(argv=None) -> int:
 
             piped = run_session_pipelined(
                 make_server(roi_side), client, n_frames=N_FRAMES, depth=2,
-                **knobs,
+                **make_knobs(),
             )
             serial_canon = json.dumps(
                 canonicalize_session_trace(result.to_trace_dict()), sort_keys=True

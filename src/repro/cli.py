@@ -137,6 +137,28 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             sr_backend=sr_backend if hasattr(client, "sr_backend") else None,
             dispatch=dispatch if hasattr(client, "dispatch") else None,
         )
+        if args.scenario is not None:
+            knobs["scenario"] = args.scenario
+            knobs["link_deadline_ms"] = args.net_budget_ms
+            knobs["skip_dropped"] = True
+        if args.abr:
+            from .streaming.abr import build_abr
+
+            # ABR subsumes the static execution knobs: drop them and let
+            # the ladder drive quality/GOP/RoI/backend per frame.
+            knobs = {
+                k: v
+                for k, v in knobs.items()
+                if k not in ("gop_reuse", "sr_backend", "dispatch")
+            }
+            knobs["abr"] = build_abr(
+                plan.side,
+                plan.min_side,
+                720,
+                runner=runner if hasattr(client, "set_sr_backend") else None,
+                profile=args.profile,
+                net_budget_ms=args.net_budget_ms,
+            )
         server = GameStreamServer(
             build_game(args.game), geometry, roi_side=roi, gop_size=args.frames
         )
@@ -147,12 +169,18 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             )
         else:
             result = run_session(server, client, n_frames=args.frames, **knobs)
+        extras = ""
+        if args.scenario is not None:
+            extras = (
+                f" | conformance {result.conformance_rate():.2f}"
+                f" | drops {result.drop_rate():.2f}"
+            )
         print(
             f"{label:14s} ref {result.mean_upscale_ms(True):7.1f} ms | "
             f"non-ref {result.mean_upscale_ms(False):6.2f} ms | "
             f"MTP {result.mean_mtp().total_ms:6.1f} ms | "
             f"energy {result.gop_weighted_energy(60).total:6.1f} mJ/frame | "
-            f"60 FPS: {result.realtime_conformant()}"
+            f"60 FPS: {result.realtime_conformant()}" + extras
         )
         if args.trace_json:
             from .observability import validate_session_trace
@@ -233,6 +261,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-engine latency budget for --dispatch "
         "(default: half the 60 FPS frame budget)",
+    )
+    stream.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="stream over a trace-driven time-varying link: wifi_stable, "
+        "wifi_congested, lte_walk, lte_drive, 5g_mmwave, or "
+        "synthetic:<seed> (enables skip-dropped transport)",
+    )
+    stream.add_argument(
+        "--abr",
+        action="store_true",
+        help="close the bitrate control loop: co-adapt codec quality, GOP "
+        "structure, RoI size, and SR backend to the observed link "
+        "(subsumes --gop-reuse/--sr-backend/--dispatch)",
+    )
+    stream.add_argument(
+        "--net-budget-ms",
+        type=float,
+        default=100.0,
+        help="per-frame delivery budget for --scenario/--abr (frames past "
+        "it are dropped; the ABR controller backs off approaching it)",
     )
     stream.add_argument(
         "--trace-json",

@@ -44,12 +44,14 @@ LAYERS: Dict[str, int] = {
     "repro.sr.dispatch": 4,
     "repro.codec": 5,
     "repro.core": 5,
-    "repro.streaming": 6,
-    "repro.baselines": 7,
-    "repro.analysis": 8,
-    "repro.cli": 9,
-    "repro": 10,
-    "repro.__main__": 10,
+    "repro.streaming.adaptive": 5,
+    "repro.streaming.abr": 6,
+    "repro.streaming": 7,
+    "repro.baselines": 8,
+    "repro.analysis": 9,
+    "repro.cli": 10,
+    "repro": 11,
+    "repro.__main__": 11,
 }
 
 _ROOT_PACKAGE = "repro"

@@ -1,5 +1,29 @@
-"""Network substrate: lossy finite-bandwidth link with packetization."""
+"""Network substrate: lossy finite-bandwidth link with packetization,
+plus trace-driven time-varying scenarios (LTE/5G/WiFi)."""
 
-from .link import MTU_BYTES, NetworkLink, TransmitResult
+from .link import MTU_BYTES, NetworkLink, TransmitResult, packet_sizes
+from .trace import (
+    SCENARIO_NAMES,
+    GilbertElliott,
+    LinkTrace,
+    TraceDrivenLink,
+    TraceSegment,
+    available_scenarios,
+    build_scenario,
+    synthetic_trace,
+)
 
-__all__ = ["MTU_BYTES", "NetworkLink", "TransmitResult"]
+__all__ = [
+    "MTU_BYTES",
+    "NetworkLink",
+    "TransmitResult",
+    "packet_sizes",
+    "SCENARIO_NAMES",
+    "GilbertElliott",
+    "LinkTrace",
+    "TraceSegment",
+    "TraceDrivenLink",
+    "available_scenarios",
+    "build_scenario",
+    "synthetic_trace",
+]

@@ -64,6 +64,12 @@ def observe_frame_trace(registry: MetricsRegistry, trace) -> None:
         dispatch = span.metadata.get("dispatch")
         if dispatch is not None:
             _observe_dispatch(registry, dispatch)
+        scenario = span.metadata.get("scenario")
+        if scenario is not None:
+            _observe_scenario(registry, scenario)
+        abr = span.metadata.get("abr")
+        if abr is not None:
+            _observe_abr(registry, abr)
     registry.histogram("frame_total_ms").observe(trace.total_modeled_ms)
 
 
@@ -106,6 +112,45 @@ def _observe_dispatch(registry: MetricsRegistry, dispatch: dict) -> None:
     registry.histogram("sr.dispatch/mean_difficulty").observe(
         float(dispatch.get("mean_difficulty", 0.0))
     )
+
+
+def _observe_scenario(registry: MetricsRegistry, scenario: dict) -> None:
+    """Record the trace-driven link conditions one frame transmitted
+    under (``scenario`` network-span metadata from
+    :class:`repro.network.trace.TraceDrivenLink`)."""
+    registry.counter("net.scenario/frames").inc()
+    name = scenario.get("scenario")
+    if name:
+        registry.counter(f"net.scenario/frames_{name}").inc()
+    if scenario.get("burst_state") == "bad":
+        registry.counter("net.scenario/burst_frames").inc()
+    registry.histogram("net.scenario/bandwidth_mbps").observe(
+        float(scenario.get("bandwidth_mbps", 0.0))
+    )
+    registry.histogram("net.scenario/propagation_ms").observe(
+        float(scenario.get("propagation_ms", 0.0))
+    )
+    registry.histogram("net.scenario/jitter_ms").observe(
+        float(scenario.get("jitter_ms", 0.0))
+    )
+    registry.histogram("net.scenario/loss_rate").observe(
+        float(scenario.get("loss_rate", 0.0))
+    )
+
+
+def _observe_abr(registry: MetricsRegistry, abr: dict) -> None:
+    """Record one frame's ABR operating point (``abr`` network-span
+    metadata from :class:`repro.streaming.abr.ABRController`)."""
+    registry.counter("abr/frames").inc()
+    rung = abr.get("rung")
+    if rung:
+        registry.counter(f"abr/frames_{rung}").inc()
+    if abr.get("switched"):
+        registry.counter("abr/switches").inc()
+    if abr.get("force_idr"):
+        registry.counter("abr/idr_requests").inc()
+    registry.histogram("abr/quality").observe(float(abr.get("quality", 0.0)))
+    registry.histogram("abr/roi_side").observe(float(abr.get("roi_side", 0.0)))
 
 
 # -- pipelined-executor metrics (all under the volatile "pipeline/"

@@ -1,5 +1,6 @@
 """End-to-end game-streaming simulation: server, client designs, sessions."""
 
+from .abr import ABRController, ABRRung, DEFAULT_LADDER, build_abr
 from .adaptive import AdaptiveRoIController
 from .client import (
     BilinearClient,
@@ -39,10 +40,13 @@ from .session import (
 )
 
 __all__ = [
+    "ABRController",
+    "ABRRung",
     "AdaptiveRoIController",
     "BilinearClient",
     "CLIENT_STAGES",
     "ClientFrameResult",
+    "DEFAULT_LADDER",
     "DEFAULT_SLOT_BYTES",
     "ENERGY_CATEGORIES",
     "EnergyAttribution",
@@ -69,6 +73,7 @@ __all__ = [
     "StreamingClient",
     "TransmissionSplit",
     "apply_client_knobs",
+    "build_abr",
     "energy_from_trace",
     "energy_of_frame",
     "modeled_pipeline_schedule",

@@ -88,10 +88,28 @@ class AdaptiveRoIController:
             raise ValueError(f"latency must be >= 0, got {upscale_latency_ms}")
         self._history.append(upscale_latency_ms)
         if upscale_latency_ms > self.headroom * self.deadline_ms:
-            self._side = max(self.min_side, int(self._side * self.shrink_factor))
+            self._side = self._quantize_down(self._side * self.shrink_factor)
         elif upscale_latency_ms < 0.8 * self.deadline_ms:
             self._side = min(self.max_side, self._side + self.grow_step)
         return self._side
+
+    def _quantize_down(self, raw_side: float) -> int:
+        """Shrunken side, snapped onto the ``grow_step`` lattice.
+
+        Bare ``int(side * shrink_factor)`` truncation can land on any
+        integer, misaligned with the codec-block / SR-tile granularity
+        that additive growth preserves. Snap *down* to the nearest
+        ``min_side + k * grow_step`` so shrink and grow share one
+        lattice and a shrink is never rounded back above the raw value.
+        """
+        shrunk = int(raw_side)
+        if shrunk <= self.min_side:
+            return self.min_side
+        aligned = (
+            self.min_side
+            + (shrunk - self.min_side) // self.grow_step * self.grow_step
+        )
+        return min(aligned, self.max_side)
 
     def miss_rate(self) -> float:
         """Fraction of observed frames that exceeded the deadline."""

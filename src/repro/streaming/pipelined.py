@@ -74,6 +74,7 @@ from ..observability import (
     observe_pipeline_producer,
     observe_pipeline_truncation,
 )
+from .abr import ABRController
 from .adaptive import AdaptiveRoIController
 from .client import StreamingClient
 from .frames import ServerFrame
@@ -82,8 +83,13 @@ from .ring import DEFAULT_SLOT_BYTES, RingClosed, ShmRing
 from .server import GameStreamServer
 from .session import (
     SessionResult,
+    _abr_produce_knobs,
     _adaptive_eval_side,
+    _apply_abr_client_knobs,
+    _apply_server_knobs,
     _consume_frame,
+    _resolve_scenario,
+    _validate_abr_knobs,
     apply_client_knobs,
 )
 
@@ -162,7 +168,7 @@ def _producer_main(
     slot_bytes: int,
     server: GameStreamServer,
     n_frames: int,
-    adaptive_enabled: bool,
+    feedback_enabled: bool,
     render_workers: int,
     conn,
 ) -> None:
@@ -170,26 +176,32 @@ def _producer_main(
 
     Attaches to the ring by name, runs ``server.next_frame()``
     sequentially (encoder state is order-dependent), and pushes pickled
-    frames. With ``adaptive_enabled`` it blocks on the feedback pipe for
-    the consumer-authorized RoI side before producing each frame. A
-    raised exception is reported over the pipe before exiting.
+    frames. With ``feedback_enabled`` it blocks on the feedback pipe for
+    the consumer-authorized knob set before producing each frame —
+    either an adaptive RoI side (``("side", index, eval_side)``) or a
+    full ABR decision (``("knobs", index, dict)`` actuated through the
+    shared ``_apply_server_knobs``). A raised exception is reported
+    over the pipe before exiting.
     """
     ring = ShmRing(capacity, slot_bytes, name=ring_name, create=False)
     prefetcher: Optional[_RenderPrefetcher] = None
     try:
-        if render_workers > 1 and not adaptive_enabled:
+        if render_workers > 1 and not feedback_enabled:
             prefetcher = _RenderPrefetcher(
                 server, workers=render_workers - 1, ahead=capacity
             )
         for index in range(n_frames):
-            if adaptive_enabled:
+            if feedback_enabled:
                 msg = conn.recv()
                 if msg[0] == "stop":
                     return
-                assert msg[0] == "side" and msg[1] == index, msg
-                eval_side = msg[2]
-                if server.detector is not None and eval_side is not None:
-                    server.set_roi_side(eval_side)
+                assert msg[0] in ("side", "knobs") and msg[1] == index, msg
+                if msg[0] == "side":
+                    eval_side = msg[2]
+                    if server.detector is not None and eval_side is not None:
+                        server.set_roi_side(eval_side)
+                else:
+                    _apply_server_knobs(server, msg[2])
             prerendered = prefetcher.get(index) if prefetcher is not None else None
             frame = server.next_frame(prerendered=prerendered)
             payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
@@ -225,6 +237,8 @@ def run_session_pipelined(
     gop_reuse: bool = False,
     sr_backend=None,
     dispatch=None,
+    scenario=None,
+    abr: Optional[ABRController] = None,
     depth: int = 2,
     workers: int = 1,
     slot_bytes: int = DEFAULT_SLOT_BYTES,
@@ -243,8 +257,8 @@ def run_session_pipelined(
         Total server-side processes. ``1`` = the producer alone;
         ``>1`` adds a render-prefetch pool of ``workers - 1`` processes
         inside the producer (pure-by-index renders run ahead; RoI/encode
-        stay sequential). Ignored when ``adaptive`` is set — feedback
-        lock-step makes prefetch pointless.
+        stay sequential). Ignored when ``adaptive`` or ``abr`` is set —
+        feedback lock-step makes prefetch pointless.
     ``slot_bytes``
         Fixed per-frame payload capacity of the ring.
 
@@ -260,12 +274,18 @@ def run_session_pipelined(
         raise ValueError(f"pipeline depth must be >= 1, got {depth}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    link = _resolve_scenario(scenario, link)
+    _validate_abr_knobs(
+        abr, adaptive=adaptive, gop_reuse=gop_reuse,
+        sr_backend=sr_backend, dispatch=dispatch,
+    )
     # Client stages run in the parent process, so the GOP cache (and any
     # zoo backend / dispatcher state) sees frames in order exactly as in
     # the serial loop.
     apply_client_knobs(
         client, gop_reuse=gop_reuse, sr_backend=sr_backend, dispatch=dispatch
     )
+    feedback_enabled = adaptive is not None or abr is not None
 
     client.reset()
     metrics = MetricsRegistry()
@@ -289,7 +309,7 @@ def run_session_pipelined(
             slot_bytes,
             server,
             n_frames,
-            adaptive is not None,
+            feedback_enabled,
             workers,
             child_conn,
         ),
@@ -300,9 +320,20 @@ def run_session_pipelined(
     child_conn.close()
     producer_error: Optional[str] = None
     skip_state = {"reference_broken": False}
+    period_ms = 1000.0 / server.fps
     try:
         for index in range(n_frames):
-            if adaptive is not None:
+            if abr is not None:
+                # The serial loop's per-frame ABR actuation, split across
+                # the process boundary: client knobs (RoI pin, SR backend)
+                # stay here, the server knob dict crosses via the feedback
+                # pipe (authorizing the producer to produce this frame).
+                knobs = _abr_produce_knobs(
+                    abr, server.detector is not None, server.geometry
+                )
+                _apply_abr_client_knobs(client, abr)
+                parent_conn.send(("knobs", index, knobs))
+            elif adaptive is not None:
                 # The serial loop's _apply_adaptive_side, split across the
                 # process boundary: the client pin stays here, the server
                 # side crosses via the feedback pipe (authorizing the
@@ -342,6 +373,8 @@ def run_session_pipelined(
                     hr_fn=hr_fn if evaluate_quality else None,
                     skip_dropped=skip_dropped,
                     skip_state=skip_state,
+                    abr=abr,
+                    at_ms=index * period_ms,
                 )
             )
     finally:
@@ -352,7 +385,7 @@ def run_session_pipelined(
             ring.produced,
         )
         ring.mark_closed()  # unblocks a backpressured push
-        if adaptive is not None and producer.is_alive():
+        if feedback_enabled and producer.is_alive():
             try:
                 parent_conn.send(("stop",))  # unblocks a feedback recv
             except (BrokenPipeError, OSError):

@@ -35,11 +35,13 @@ import numpy as np
 
 from ..metrics.lpips import lpips as lpips_metric
 from ..metrics.psnr import psnr as psnr_metric
-from ..network.link import NetworkLink
+from ..network.link import NetworkLink, TransmitResult
+from ..network.trace import build_scenario
 from ..observability import MetricsRegistry, observe_frame_trace
 from ..platform import calibration as cal
 from ..platform.device import DeviceProfile
 from ..platform.energy import Component, EnergyBreakdown, overhead_mj, stage_energy_mj
+from .abr import ABRController
 from .adaptive import AdaptiveRoIController
 from .client import StreamingClient
 from .frames import ClientFrameResult, ServerFrame, StreamGeometry
@@ -247,22 +249,53 @@ class SessionResult:
         """Do all frames meet the 60 FPS upscaling deadline?"""
         return all(r.upscale_ms <= deadline_ms for r in self.records)
 
+    def conformance_rate(
+        self, deadline_ms: float = cal.REALTIME_DEADLINE_MS
+    ) -> float:
+        """Fraction of frames delivered *and* upscaled inside budget.
+
+        The per-scenario headline of ``bench_netscen``: a frame conforms
+        when the transport did not drop it and its upscale stage met the
+        realtime deadline. (Skipped frames have ``upscale_ms == 0`` but
+        fail on ``dropped``/``reference_lost``.)
+        """
+        if not self.records:
+            return 0.0
+        ok = 0
+        for r in self.records:
+            skipped = (
+                r.trace is not None
+                and r.trace.span("upscale").metadata.get("skipped", False)
+            )
+            if not r.dropped and not skipped and r.upscale_ms <= deadline_ms:
+                ok += 1
+        return ok / len(self.records)
+
     def mean_bitrate_mbps(self, fps: float = cal.TARGET_FPS) -> float:
         mean_bytes = float(np.mean([r.modeled_size_bytes for r in self.records]))
         return mean_bytes * 8 * fps / 1e6
 
 
 def _transport_stage(
-    server_frame: ServerFrame, link: NetworkLink, deadline_ms: float
-) -> tuple[bool, int]:
+    server_frame: ServerFrame,
+    link: NetworkLink,
+    deadline_ms: float,
+    at_ms: float = 0.0,
+) -> TransmitResult:
     """Run the injected lossy transport and amend the network span.
 
     Replaces the server's flat ``transmission_ms`` span with the measured
     :meth:`NetworkLink.transmit` outcome (serialization + propagation +
     retransmission rounds) and keeps the ``server_timings_ms`` view in
-    sync. Returns ``(dropped, n_retransmissions)``.
+    sync. ``at_ms`` is the frame's session-time transmit instant — the
+    static link ignores it; a trace-driven link resolves its conditions
+    there and the span picks up the ``scenario`` metadata.
     """
-    outcome = link.transmit(server_frame.modeled_size_bytes, deadline_ms=deadline_ms)
+    outcome = link.transmit(
+        server_frame.modeled_size_bytes, deadline_ms=deadline_ms, at_ms=at_ms
+    )
+    scenario_meta = getattr(link, "last_transmit_meta", None)
+    extra = {"scenario": dict(scenario_meta)} if scenario_meta else {}
     if server_frame.trace is not None:
         server_frame.trace.amend_span(
             "network",
@@ -271,11 +304,80 @@ def _transport_stage(
             n_retransmissions=outcome.n_retransmissions,
             dropped=outcome.dropped,
             transport="lossy_link",
+            **extra,
         )
     # server_timings_ms is a materialized view of the trace: keep it in
     # sync so dict consumers (mtp fallback, reports) see the transport.
     server_frame.server_timings_ms["network"] = outcome.latency_ms
-    return outcome.dropped, outcome.n_retransmissions
+    return outcome
+
+
+def _resolve_scenario(
+    scenario: Optional[object], link: Optional[NetworkLink], seed: int = 0
+) -> Optional[NetworkLink]:
+    """Materialize the ``scenario=`` knob into the session's link.
+
+    ``scenario`` is a canned/synthetic name (see
+    :func:`repro.network.trace.build_scenario`) or an already-built
+    :class:`NetworkLink`; mutually exclusive with an explicit ``link``.
+    """
+    if scenario is None:
+        return link
+    if link is not None:
+        raise ValueError("scenario= and link= are mutually exclusive")
+    if isinstance(scenario, NetworkLink):
+        return scenario
+    if isinstance(scenario, str):
+        return build_scenario(scenario, seed=seed)
+    raise TypeError(
+        f"scenario must be a name or NetworkLink, got {type(scenario).__name__}"
+    )
+
+
+def _apply_server_knobs(server: GameStreamServer, knobs: Dict[str, Any]) -> None:
+    """Actuate one frame's ABR decision on the server before production.
+
+    Shared by the serial loop and the pipelined producer (the dict
+    crosses the feedback pipe verbatim), so both executors mutate the
+    encoder identically. ``force_idr`` resets the encoder's GOP phase:
+    the next frame is an I-frame regardless of position.
+    """
+    side = knobs.get("eval_roi_side")
+    if side is not None and server.detector is not None:
+        server.set_roi_side(side)
+    quality = knobs.get("quality")
+    if quality is not None:
+        server.encoder.quality = quality
+    gop_size = knobs.get("gop_size")
+    if gop_size is not None:
+        server.encoder.gop_size = gop_size
+    if knobs.get("force_idr"):
+        server.encoder.reset()
+
+
+def _abr_produce_knobs(
+    abr: ABRController, server_has_roi: bool, geometry: StreamGeometry
+) -> Dict[str, Any]:
+    """The ABR decision for the next frame, with the RoI side rescaled
+    to the eval geometry (``None`` when the server has no detector)."""
+    eval_side = _adaptive_eval_side(abr, geometry) if server_has_roi else None
+    return abr.next_frame_knobs(eval_side)
+
+
+def _apply_abr_client_knobs(client: StreamingClient, abr: ABRController) -> None:
+    """Actuate the rung's client-side knobs (consumer process).
+
+    The RoI pin follows the capped controller side like the adaptive
+    path; the SR backend switches only when the rung actually changed it
+    (``set_sr_backend`` rebuilds the upscaler) and only on designs that
+    expose the zoo knob.
+    """
+    if getattr(client, "modeled_roi_side", None) is not None:
+        client.modeled_roi_side = abr.side
+    backend = abr.client_backend()
+    if backend is not None and hasattr(client, "set_sr_backend"):
+        if getattr(client, "sr_backend", None) is not backend:
+            client.set_sr_backend(backend)
 
 
 def _adaptive_eval_side(
@@ -355,6 +457,39 @@ def apply_client_knobs(
         client._validate_sr_knobs()
 
 
+def _validate_abr_knobs(
+    abr: Optional[ABRController],
+    *,
+    adaptive: Optional[AdaptiveRoIController],
+    gop_reuse: bool,
+    sr_backend,
+    dispatch,
+) -> None:
+    """Reject knob combinations the ABR controller subsumes.
+
+    ABR owns the RoI loop (it *is* an :class:`AdaptiveRoIController`)
+    and switches SR backends per rung, so a simultaneous ``adaptive``
+    controller or a static ``gop_reuse``/``sr_backend``/``dispatch``
+    pin would fight it frame by frame.
+    """
+    if abr is None:
+        return
+    conflicts = [
+        name
+        for name, on in (
+            ("adaptive", adaptive is not None),
+            ("gop_reuse", gop_reuse),
+            ("sr_backend", sr_backend is not None),
+            ("dispatch", dispatch is not None),
+        )
+        if on
+    ]
+    if conflicts:
+        raise ValueError(
+            f"abr= is mutually exclusive with {', '.join(conflicts)}"
+        )
+
+
 def _skipped_client_result(frame: ServerFrame, reason: str) -> ClientFrameResult:
     """The client-side record of a skipped (never decoded) frame.
 
@@ -410,6 +545,8 @@ def _consume_frame(
     hr_fn: Optional[Callable[[int], np.ndarray]],
     skip_dropped: bool,
     skip_state: Optional[Dict[str, bool]] = None,
+    abr: Optional[ABRController] = None,
+    at_ms: float = 0.0,
 ) -> FrameRecord:
     """Run the client half of the pipeline on one produced server frame.
 
@@ -423,9 +560,14 @@ def _consume_frame(
     """
     dropped, retransmissions = False, 0
     if link is not None:
-        dropped, retransmissions = _transport_stage(
-            server_frame, link, link_deadline_ms
-        )
+        outcome = _transport_stage(server_frame, link, link_deadline_ms, at_ms)
+        dropped, retransmissions = outcome.dropped, outcome.n_retransmissions
+        if abr is not None:
+            if server_frame.trace is not None and abr.frame_meta:
+                server_frame.trace.amend_span("network", abr=dict(abr.frame_meta))
+            abr.observe_network(
+                outcome, server_frame.modeled_size_bytes, at_ms=at_ms
+            )
 
     # A skipped frame breaks the decoder's reference chain: every later
     # P-frame is undecodable (its reference is missing or stale) until a
@@ -444,8 +586,9 @@ def _consume_frame(
         client_result = _skipped_client_result(server_frame, skip_reason)
     else:
         client_result = client.process(server_frame)
-        if adaptive is not None:
-            adaptive.observe(client_result.upscale_ms)
+        controller = abr if abr is not None else adaptive
+        if controller is not None:
+            controller.observe(client_result.upscale_ms)
 
     psnr_db = lpips_val = None
     if evaluate_quality and not skipped:
@@ -495,6 +638,8 @@ def run_session(
     gop_reuse: bool = False,
     sr_backend=None,
     dispatch=None,
+    scenario=None,
+    abr: Optional[ABRController] = None,
 ) -> SessionResult:
     """Stream ``n_frames`` through ``server`` -> ``client`` and aggregate.
 
@@ -535,11 +680,31 @@ def run_session(
     :class:`~repro.sr.dispatch.DifficultyDispatcher` on the clients that
     support them; mutually exclusive with each other and with
     ``gop_reuse`` (see :func:`apply_client_knobs`).
+
+    ``scenario`` (default off) streams over a trace-driven time-varying
+    link: a canned name (``"lte_drive"``), a ``"synthetic:<seed>"``
+    generator spec, or a prebuilt :class:`NetworkLink`; mutually
+    exclusive with ``link``. Frames transmit at their session-time
+    instant (``index / fps``) so the link's bandwidth/RTT/loss schedule
+    lines up with the stream, and the network span carries the
+    instantaneous conditions as ``scenario`` metadata.
+
+    ``abr`` (default off) closes the bitrate control loop: an
+    :class:`~repro.streaming.abr.ABRController` observes each frame's
+    transmit outcome and co-adapts codec quality, GOP structure, RoI
+    size, and SR backend before the next frame is produced. Subsumes
+    (and is mutually exclusive with) ``adaptive`` and the static
+    ``gop_reuse``/``sr_backend``/``dispatch`` knobs.
     """
     if n_frames < 1:
         raise ValueError(f"n_frames must be >= 1, got {n_frames}")
     if lpips_stride < 1:
         raise ValueError(f"lpips_stride must be >= 1, got {lpips_stride}")
+    link = _resolve_scenario(scenario, link)
+    _validate_abr_knobs(
+        abr, adaptive=adaptive, gop_reuse=gop_reuse,
+        sr_backend=sr_backend, dispatch=dispatch,
+    )
     apply_client_knobs(
         client, gop_reuse=gop_reuse, sr_backend=sr_backend, dispatch=dispatch
     )
@@ -555,8 +720,15 @@ def run_session(
     )
     hr_fn = hr_reference_fn if hr_reference_fn is not None else server.render_hr_reference
     skip_state = {"reference_broken": False}
-    for _ in range(n_frames):
-        if adaptive is not None:
+    period_ms = 1000.0 / server.fps
+    for index in range(n_frames):
+        if abr is not None:
+            _apply_server_knobs(
+                server,
+                _abr_produce_knobs(abr, server.detector is not None, server.geometry),
+            )
+            _apply_abr_client_knobs(client, abr)
+        elif adaptive is not None:
             _apply_adaptive_side(server, client, adaptive, server.geometry)
 
         server_frame: ServerFrame = server.next_frame()
@@ -575,6 +747,8 @@ def run_session(
                 hr_fn=hr_fn if evaluate_quality else None,
                 skip_dropped=skip_dropped,
                 skip_state=skip_state,
+                abr=abr,
+                at_ms=index * period_ms,
             )
         )
     return result

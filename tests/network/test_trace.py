@@ -1,0 +1,166 @@
+"""Trace-driven link scenarios: schedules, burst loss, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import (
+    SCENARIO_NAMES,
+    GilbertElliott,
+    LinkTrace,
+    NetworkLink,
+    TraceDrivenLink,
+    TraceSegment,
+    available_scenarios,
+    build_scenario,
+    synthetic_trace,
+)
+
+
+def two_phase_trace(**kwargs) -> LinkTrace:
+    return LinkTrace(
+        name="two_phase",
+        segments=(
+            TraceSegment(0.0, 40.0, 10.0, 0.0),
+            TraceSegment(1_000.0, 8.0, 30.0, 0.0),
+        ),
+        **kwargs,
+    )
+
+
+class TestLinkTrace:
+    def test_segment_lookup(self):
+        trace = two_phase_trace()
+        assert trace.segment_at(0.0).bandwidth_mbps == 40.0
+        assert trace.segment_at(999.9).bandwidth_mbps == 40.0
+        assert trace.segment_at(1_000.0).bandwidth_mbps == 8.0
+        assert trace.segment_at(50_000.0).bandwidth_mbps == 8.0  # holds last
+
+    def test_loop_wraps(self):
+        trace = two_phase_trace(loop=True, duration_ms=2_000.0)
+        assert trace.segment_at(2_000.0).bandwidth_mbps == 40.0
+        assert trace.segment_at(3_500.0).bandwidth_mbps == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkTrace(name="empty", segments=())
+        with pytest.raises(ValueError):
+            LinkTrace(
+                name="late_start",
+                segments=(TraceSegment(5.0, 10.0, 5.0),),
+            )
+        with pytest.raises(ValueError):
+            LinkTrace(
+                name="unsorted",
+                segments=(
+                    TraceSegment(0.0, 10.0, 5.0),
+                    TraceSegment(0.0, 20.0, 5.0),
+                ),
+            )
+        with pytest.raises(ValueError):
+            two_phase_trace(loop=True, duration_ms=500.0)
+        with pytest.raises(ValueError):
+            TraceSegment(0.0, -1.0, 5.0)
+
+
+class TestTraceDrivenLink:
+    def test_conditions_follow_schedule(self):
+        link = TraceDrivenLink(two_phase_trace())
+        fast = link.transmit(30_000, at_ms=0.0)
+        slow = link.transmit(30_000, at_ms=1_500.0)
+        # 30 KB: 6 ms at 40 Mbps vs 30 ms at 8 Mbps, plus propagation.
+        assert fast.latency_ms == pytest.approx(6.0 + 10.0)
+        assert slow.latency_ms == pytest.approx(30.0 + 30.0)
+
+    def test_last_transmit_meta(self):
+        link = TraceDrivenLink(two_phase_trace())
+        link.transmit(30_000, at_ms=1_200.0)
+        meta = link.last_transmit_meta
+        assert meta["scenario"] == "two_phase"
+        assert meta["bandwidth_mbps"] == 8.0
+        assert meta["at_ms"] == 1_200.0
+        assert meta["burst_state"] == "good"
+
+    def test_jitter_is_seeded_and_additive(self):
+        trace = two_phase_trace(jitter_ms=3.0)
+        a = TraceDrivenLink(trace, seed=5)
+        b = TraceDrivenLink(trace, seed=5)
+        ra, rb = a.transmit(30_000), b.transmit(30_000)
+        assert ra == rb
+        assert ra.latency_ms > 6.0 + 10.0  # jitter strictly adds
+        assert a.last_transmit_meta["jitter_ms"] > 0.0
+
+    def test_reset_replays_identically(self):
+        link = build_scenario("lte_drive", seed=9)
+        first = [link.transmit(30_000, at_ms=i * 16.66) for i in range(30)]
+        link.reset()
+        second = [link.transmit(30_000, at_ms=i * 16.66) for i in range(30)]
+        assert first == second
+
+    def test_same_trace_same_seed_identical_sequences(self):
+        """The seeded-determinism contract: two independently built links
+        over the same trace + seed emit identical TransmitResults."""
+        for name in SCENARIO_NAMES:
+            a = build_scenario(name, seed=3)
+            b = build_scenario(name, seed=3)
+            seq_a = [a.transmit(25_000, at_ms=i * 16.66) for i in range(40)]
+            seq_b = [b.transmit(25_000, at_ms=i * 16.66) for i in range(40)]
+            assert seq_a == seq_b, name
+
+    def test_is_a_network_link(self):
+        assert isinstance(build_scenario("wifi_stable"), NetworkLink)
+
+
+class TestGilbertElliott:
+    def test_burst_losses_cluster(self):
+        """With a sticky bad state, losses arrive in runs: the lossy
+        trace must show longer loss bursts than an i.i.d. link of the
+        same average rate would essentially never produce."""
+        trace = LinkTrace(
+            name="bursty",
+            segments=(TraceSegment(0.0, 40.0, 5.0, 0.0),),
+            ge_loss=GilbertElliott(
+                p_g2b=0.05, p_b2g=0.1, p_loss_bad=0.9
+            ),
+        )
+        link = TraceDrivenLink(trace, seed=2)
+        retx = [link.transmit(30_000, at_ms=i * 16.66).n_retransmissions for i in range(200)]
+        bursty_frames = sum(1 for r in retx if r >= 5)
+        assert sum(retx) > 0
+        assert bursty_frames > 0  # multi-packet loss runs occur
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(p_g2b=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliott(p_loss_bad=1.0, p_b2g=0.0)
+
+
+class TestScenarios:
+    def test_registry(self):
+        assert set(SCENARIO_NAMES) == {
+            "wifi_stable",
+            "wifi_congested",
+            "lte_walk",
+            "lte_drive",
+            "5g_mmwave",
+        }
+        assert "synthetic:<seed>" in available_scenarios()
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_scenario("carrier_pigeon")
+        with pytest.raises(ValueError, match="integer seed"):
+            build_scenario("synthetic:abc")
+
+    def test_synthetic_is_seeded(self):
+        a, b = synthetic_trace(7), synthetic_trace(7)
+        assert a == b
+        assert synthetic_trace(8) != a
+
+    def test_synthetic_within_ranges(self):
+        trace = synthetic_trace(11, bandwidth_range=(4.0, 60.0), max_loss=0.05)
+        for seg in trace.segments:
+            assert 4.0 <= seg.bandwidth_mbps <= 60.0
+            assert 0.0 <= seg.loss_rate <= 0.05
+        assert trace.loop

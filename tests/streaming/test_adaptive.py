@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.platform.device import samsung_tab_s8
@@ -37,6 +38,45 @@ class TestControl:
             ctl.observe(30.0)
         assert ctl.side == 172
         assert ctl.at_foveal_floor
+
+    def test_shrink_stays_on_grow_lattice(self):
+        """Regression: bare ``int(side * shrink_factor)`` truncation could
+        land the side on any integer; a shrink must snap down onto the
+        ``min_side + k * grow_step`` lattice that growth preserves."""
+        ctl = make_controller()  # 300 -> int(255.0) = 255, off-lattice
+        side = ctl.observe(20.0)
+        assert side == 252  # 172 + 20 * 4
+        assert (side - ctl.min_side) % ctl.grow_step == 0
+
+    def test_shrink_never_rounds_up(self):
+        ctl = make_controller(initial_side=176, min_side=172)
+        # 176 * 0.85 = 149.6 -> clamped at the floor, never above 149.
+        assert ctl.observe(20.0) == 172
+
+    def test_side_invariants_under_arbitrary_latencies(self):
+        """Property: under arbitrary latency sequences the side stays in
+        ``[min_side, max_side]`` and aligned to the grow_step lattice
+        (except when pinned at the ``max_side`` cap)."""
+        rng = np.random.default_rng(42)
+        for trial in range(50):
+            min_side = int(rng.integers(8, 200))
+            max_side = min_side + int(rng.integers(0, 600))
+            grow = int(rng.integers(1, 17))
+            # Start anywhere on the lattice (the planner's sizing is
+            # block-aligned); caps may still push the side off it.
+            k_max = (max_side - min_side) // grow
+            initial = min_side + int(rng.integers(0, k_max + 1)) * grow
+            ctl = AdaptiveRoIController(
+                initial_side=initial,
+                min_side=min_side,
+                max_side=max_side,
+                grow_step=grow,
+            )
+            latencies = rng.exponential(12.0, size=60)
+            for latency in latencies:
+                side = ctl.observe(float(latency))
+                assert min_side <= side <= max_side
+                assert (side - min_side) % grow == 0 or side == max_side
 
     def test_never_above_probe_ceiling(self):
         ctl = make_controller(initial_side=300)

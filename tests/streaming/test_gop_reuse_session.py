@@ -193,7 +193,7 @@ class TestRefreshBoundaries:
             client,
             n_frames=N,
             link=NetworkLink(
-                bandwidth_mbps=20.0, propagation_ms=8.0, loss_rate=0.3, seed=7
+                bandwidth_mbps=20.0, propagation_ms=8.0, loss_rate=0.3, seed=13
             ),
             link_deadline_ms=80.0,
             skip_dropped=True,

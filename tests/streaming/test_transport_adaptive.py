@@ -135,7 +135,7 @@ class TestSkipDropped:
     that heals the chain and is processed in full.
     """
 
-    LINK_KW = dict(bandwidth_mbps=20.0, propagation_ms=8.0, loss_rate=0.3, seed=7)
+    LINK_KW = dict(bandwidth_mbps=20.0, propagation_ms=8.0, loss_rate=0.3, seed=13)
     DEADLINE_MS = 80.0
     GOP = 3
 
