@@ -131,7 +131,7 @@ def _bench_scene(game_id, n_frames, gop_size, device, plan, zoo):
             "tiles_total": counter("sr.dispatch/tiles_total"),
             "overflow_tiles": counter("sr.dispatch/overflow_tiles"),
             "tiles_per_backend": {
-                name: counter(f"sr.dispatch/tiles_{name}")
+                name: counter(f"sr.dispatch/backend_tiles/{name}")
                 for name in DISPATCH_POOL
             },
             "mean_upscale_ms": round(

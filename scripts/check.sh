@@ -17,10 +17,13 @@ python -m compileall -q src scripts benchmarks
 echo "ok: all sources byte-compile"
 
 echo "== static analysis (reprolint) =="
-# Import cycles, layering, dtype discipline, epsilon comparisons,
-# nondeterminism, and public-API drift in one pass. Fails on any finding
-# not in reprolint-baseline.json (grandfathered legacy benchmarks only).
-python -m repro.lint src tests scripts benchmarks
+# Per-file rules (import cycles, layering, dtype discipline, epsilon
+# comparisons, nondeterminism, public-API drift) plus the whole-program
+# passes (knob-parity, contract-consistency, fork-safety, metric-schema)
+# in one run. Fails on any finding not in reprolint-baseline.json
+# (grandfathered legacy benchmarks only) and on baseline entries that no
+# longer match any source line.
+python -m repro.lint --fail-stale-baseline src tests scripts benchmarks
 
 echo "== tier-1 tests =="
 python -m pytest -q -m tier1

@@ -74,7 +74,7 @@ _RUNNER: Optional[SRRunner] = None
 
 def default_runner() -> SRRunner:
     """The shared SR inference runner (trains/caches weights at first use)."""
-    global _RUNNER
+    global _RUNNER  # reprolint: disable=fork-safety -- per-process memo of a deterministic artifact: every worker rebuilds identical weights from the cache
     if _RUNNER is None:
         _RUNNER = SRRunner(default_sr_model())
     return _RUNNER

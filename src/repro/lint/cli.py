@@ -1,10 +1,14 @@
 """Command-line front end: ``python -m repro.lint [paths...]``.
 
 Exit codes: 0 = clean (suppressed/baselined findings allowed), 1 = new
-findings, 2 = usage error. The default baseline is the checked-in
-``reprolint-baseline.json`` at the repository root (i.e. the current
-directory); pass ``--no-baseline`` to see every finding or
-``--write-baseline`` to regenerate the file from the current tree.
+findings (or stale baseline entries under ``--fail-stale-baseline``),
+2 = usage error (e.g. ``--rules`` naming an unregistered rule). The
+same codes apply when running a subset via ``--rules rule-a,rule-b``;
+``--list-rules`` prints the registry and exits 0. The default baseline
+is the checked-in ``reprolint-baseline.json`` at the repository root
+(i.e. the current directory); pass ``--no-baseline`` to see every
+finding or ``--write-baseline`` to regenerate the file from the
+current tree.
 """
 
 from __future__ import annotations
@@ -63,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write all current findings to the baseline file and exit 0",
     )
+    parser.add_argument(
+        "--fail-stale-baseline",
+        action="store_true",
+        help="exit 1 when the baseline has entries matching no current "
+        "source line (CI staleness gate; default only warns)",
+    )
     return parser
 
 
@@ -98,4 +108,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     print(render_text(result) if args.fmt == "text" else render_json(result))
+    if args.fail_stale_baseline and result.stale_baseline:
+        print(
+            f"error: {len(result.stale_baseline)} stale baseline entr"
+            f"{'y' if len(result.stale_baseline) == 1 else 'ies'} "
+            "(--fail-stale-baseline)",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if result.ok else 1

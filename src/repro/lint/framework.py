@@ -111,6 +111,7 @@ class ModuleInfo:
         self.lines: List[str] = source.splitlines()
         self._suppress_lines: Optional[Dict[int, set]] = None
         self._suppress_file: Optional[set] = None
+        self._decorator_owner: Optional[Dict[int, int]] = None
 
     @property
     def is_test(self) -> bool:
@@ -150,14 +151,39 @@ class ModuleInfo:
         self._suppress_lines = per_line
         self._suppress_file = whole_file
 
+    def _scan_decorators(self) -> None:
+        """Map every decorator line to the line of the ``def``/``class``
+        it adorns, so a suppression on the definition line also covers
+        findings ast-anchored inside its decorators."""
+        owner: Dict[int, int] = {}
+        if self.tree is not None:
+            for node in ast.walk(self.tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                for deco in node.decorator_list:
+                    end = getattr(deco, "end_lineno", None) or deco.lineno
+                    for line in range(deco.lineno, end + 1):
+                        owner.setdefault(line, node.lineno)
+        self._decorator_owner = owner
+
     def suppressed(self, finding: Finding) -> bool:
         if self._suppress_lines is None:
             self._scan_suppressions()
+        if self._decorator_owner is None:
+            self._scan_decorators()
         assert self._suppress_lines is not None and self._suppress_file is not None
+        assert self._decorator_owner is not None
         if {finding.rule, "all"} & self._suppress_file:
             return True
-        rules = self._suppress_lines.get(finding.line, ())
-        return finding.rule in rules or "all" in rules
+        for line in (finding.line, self._decorator_owner.get(finding.line)):
+            if line is None:
+                continue
+            rules = self._suppress_lines.get(line, ())
+            if finding.rule in rules or "all" in rules:
+                return True
+        return False
 
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -202,9 +228,30 @@ class Project:
         self.by_name: Dict[str, ModuleInfo] = {
             m.name: m for m in self.modules if m.name is not None
         }
+        self._symbols = None
+        self._call_graph = None
 
     def named_modules(self, prefix: str) -> List[ModuleInfo]:
         return [m for m in self.modules if m.name and m.in_package([prefix])]
+
+    @property
+    def symbols(self):
+        """Lazily-built project :class:`~repro.lint.graph.SymbolTable`,
+        shared by every whole-program pass in a run."""
+        if self._symbols is None:
+            from .graph import SymbolTable
+
+            self._symbols = SymbolTable(self)
+        return self._symbols
+
+    @property
+    def call_graph(self):
+        """Lazily-built project :class:`~repro.lint.graph.CallGraph`."""
+        if self._call_graph is None:
+            from .graph import CallGraph
+
+            self._call_graph = CallGraph(self, self.symbols)
+        return self._call_graph
 
 
 class LintPass:
@@ -283,6 +330,8 @@ def collect_modules(paths: Sequence[str]) -> List[ModuleInfo]:
                     seen.add(sub.resolve())
                     files.append((sub.as_posix(), sub))
         elif p.suffix == ".py" and p.exists():
+            if "__pycache__" in p.parts:
+                continue
             if p.resolve() not in seen:
                 seen.add(p.resolve())
                 files.append((p.as_posix(), p))

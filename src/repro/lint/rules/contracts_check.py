@@ -1,0 +1,317 @@
+"""contract-consistency: @shaped specs proven sane at lint time.
+
+The runtime contracts (:mod:`repro.contracts`) only fire under
+``REPRO_CONTRACTS=1``, so a malformed spec string or a call site that
+can never satisfy one sits silent until the instrumented suite runs.
+This pass promotes the cheap, static part of that checking to lint
+time, project-wide:
+
+* every ``@shaped(...)`` spec must be a string literal that
+  :func:`repro.contracts.parse_spec` accepts;
+* spec names must be parameters of the decorated function (the runtime
+  raises the same error, but only once contracts are on);
+* dimension tokens must follow the documented grammar: identifiers are
+  UPPERCASE dimension variables, and a token that is itself a dtype or
+  kind code (``f32``, ``n``) almost certainly lost its ``:`` separator;
+* call sites whose argument is a statically-known numpy constructor
+  (``np.zeros((h, w, 3), dtype=np.float32)`` and friends) are checked
+  against the parameter's spec: the constructed rank, any literal
+  dimensions, and the constructed dtype must satisfy at least one
+  alternative.
+
+Cross-argument dimension-variable binding stays a runtime concern (the
+static shapes rarely pin both sides); everything this pass proves is a
+necessary condition, so a finding is always a genuine contradiction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ...contracts import DTYPE_CODES, KIND_CODES, ArraySpec, parse_spec
+from ..framework import Finding, LintPass, ModuleInfo, Project, register_pass
+from ..graph import Symbol, dotted_parts
+from .common import module_aliases
+
+__all__ = ["ContractConsistencyPass"]
+
+_CONSTRUCTORS = ("zeros", "ones", "empty", "full")
+
+#: numpy attribute -> spec dtype code, for ``dtype=np.float32`` kwargs.
+_NUMPY_DTYPE_CODES: Dict[str, str] = {
+    "float16": "f16",
+    "float32": "f32",
+    "float64": "f64",
+    "uint8": "u8",
+    "uint16": "u16",
+    "uint32": "u32",
+    "uint64": "u64",
+    "int8": "i8",
+    "int16": "i16",
+    "int32": "i32",
+    "int64": "i64",
+    "bool_": "b",
+}
+
+#: What ``np.zeros``/``ones``/``empty``/``full`` build without ``dtype=``.
+_DEFAULT_DTYPE_CODE = "f64"
+
+
+def _dtype_code_ok(code: str, spec_dtype: Optional[str]) -> bool:
+    """Does a concrete constructed dtype satisfy a spec dtype token?"""
+    if spec_dtype is None:
+        return True
+    if spec_dtype in DTYPE_CODES:
+        return code == spec_dtype
+    kind = DTYPE_CODES[code].kind
+    return kind in KIND_CODES[spec_dtype]
+
+
+class _StaticArray:
+    """Rank + known literal dims + dtype code of a numpy constructor call."""
+
+    def __init__(self, rank: int, dims: Sequence[Optional[int]], code: str) -> None:
+        self.rank = rank
+        self.dims = list(dims)
+        self.code = code
+
+    def admits(self, alternatives: Sequence[ArraySpec]) -> bool:
+        for alt in alternatives:
+            if len(alt.dims) != self.rank:
+                continue
+            if not _dtype_code_ok(self.code, alt.dtype):
+                continue
+            ok = True
+            for spec_dim, actual in zip(alt.dims, self.dims):
+                if isinstance(spec_dim, int) and actual is not None and actual != spec_dim:
+                    ok = False
+                    break
+            if ok:
+                return True
+        return False
+
+    def describe(self) -> str:
+        dims = ", ".join("?" if d is None else str(d) for d in self.dims)
+        return f"rank-{self.rank} ({dims}) dtype {self.code}"
+
+
+def _static_array(call: ast.Call, np_aliases: set) -> Optional[_StaticArray]:
+    chain = dotted_parts(call.func)
+    if not (
+        chain
+        and len(chain) == 2
+        and chain[0] in np_aliases
+        and chain[1] in _CONSTRUCTORS
+        and call.args
+    ):
+        return None
+    shape = call.args[0]
+    dims: List[Optional[int]]
+    if isinstance(shape, (ast.Tuple, ast.List)):
+        if any(isinstance(e, ast.Starred) for e in shape.elts):
+            return None
+        dims = [
+            e.value if isinstance(e, ast.Constant) and isinstance(e.value, int) else None
+            for e in shape.elts
+        ]
+    elif isinstance(shape, ast.Constant) and isinstance(shape.value, int):
+        dims = [shape.value]
+    else:
+        return None
+    code = _DEFAULT_DTYPE_CODE
+    for kw in call.keywords:
+        if kw.arg != "dtype":
+            continue
+        dchain = dotted_parts(kw.value)
+        if dchain and dchain[-1] in _NUMPY_DTYPE_CODES:
+            code = _NUMPY_DTYPE_CODES[dchain[-1]]
+        elif isinstance(kw.value, ast.Constant) and kw.value.value in _NUMPY_DTYPE_CODES:
+            code = _NUMPY_DTYPE_CODES[kw.value.value]
+        else:
+            return None  # dtype not statically known
+    return _StaticArray(rank=len(dims), dims=dims, code=code)
+
+
+def _function_params(fn: ast.AST) -> List[str]:
+    args = fn.args  # type: ignore[attr-defined]
+    return [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+
+
+def _has_kwargs(fn: ast.AST) -> bool:
+    return fn.args.kwarg is not None  # type: ignore[attr-defined]
+
+
+@register_pass
+class ContractConsistencyPass(LintPass):
+    name = "contract-consistency"
+    description = (
+        "@shaped specs must parse, name real parameters, follow the dim "
+        "grammar, and admit statically-known ndarray constructor call sites"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        table = project.symbols
+        contracts: Dict[str, Dict[str, Tuple[ArraySpec, ...]]] = {}
+        for mod in project.modules:
+            if mod.tree is None or mod.name is None:
+                continue
+            yield from self._check_decorators(mod, table, contracts)
+        if contracts:
+            yield from self._check_call_sites(project, table, contracts)
+
+    # -- decorator checking ---------------------------------------------
+
+    def _is_shaped(self, mod: ModuleInfo, table, deco: ast.Call) -> bool:
+        chain = dotted_parts(deco.func)
+        if not chain:
+            return False
+        sym = table.resolve(mod.name, chain)
+        if sym is not None:
+            return sym.qualname.endswith(".shaped") and "contracts" in sym.module_name
+        return chain[-1] == "shaped"
+
+    def _check_decorators(
+        self,
+        mod: ModuleInfo,
+        table,
+        contracts: Dict[str, Dict[str, Tuple[ArraySpec, ...]]],
+    ) -> Iterator[Finding]:
+        assert mod.tree is not None
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for deco in node.decorator_list:
+                if not (isinstance(deco, ast.Call) and self._is_shaped(mod, table, deco)):
+                    continue
+                params = set(_function_params(node))
+                specs: Dict[str, Tuple[ArraySpec, ...]] = {}
+                for kw in deco.keywords:
+                    if kw.arg is None:
+                        continue  # **specs forwarding: not statically known
+                    if not (
+                        isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)
+                    ):
+                        yield self.finding(
+                            mod,
+                            kw.value,
+                            f"@shaped spec for {kw.arg!r} on {node.name} is "
+                            "not a string literal; specs must be static so "
+                            "they can be checked without running the code",
+                        )
+                        continue
+                    text = kw.value.value
+                    try:
+                        alternatives = parse_spec(text)
+                    except (TypeError, ValueError) as exc:
+                        yield self.finding(
+                            mod,
+                            kw.value,
+                            f"@shaped spec {text!r} for {kw.arg!r} on "
+                            f"{node.name} does not parse: {exc}",
+                        )
+                        continue
+                    yield from self._check_grammar(mod, kw.value, node.name, kw.arg, alternatives)
+                    if kw.arg not in params and not _has_kwargs(node):
+                        yield self.finding(
+                            mod,
+                            deco,
+                            f"@shaped names {kw.arg!r} but {node.name} has no "
+                            "such parameter (runtime would raise once "
+                            "REPRO_CONTRACTS=1)",
+                        )
+                        continue
+                    specs[kw.arg] = alternatives
+                if specs:
+                    # Index by every qualname the function answers to.
+                    sym = table.qualified(f"{mod.name}.{node.name}")
+                    if sym is not None and sym.node is node:
+                        contracts[sym.qualname] = specs
+                    else:
+                        for qual, symbol in table.defs.items():
+                            if symbol.node is node:
+                                contracts[qual] = specs
+
+    def _check_grammar(
+        self,
+        mod: ModuleInfo,
+        anchor: ast.AST,
+        fn_name: str,
+        arg: str,
+        alternatives: Tuple[ArraySpec, ...],
+    ) -> Iterator[Finding]:
+        for alt in alternatives:
+            for dim in alt.dims:
+                if not isinstance(dim, str) or dim == "*":
+                    continue
+                if dim in DTYPE_CODES or dim in KIND_CODES:
+                    yield self.finding(
+                        mod,
+                        anchor,
+                        f"@shaped spec for {arg!r} on {fn_name} uses dim "
+                        f"token {dim!r}, which is a dtype code — missing the "
+                        "':' separator?",
+                    )
+                elif not dim[0].isupper():
+                    yield self.finding(
+                        mod,
+                        anchor,
+                        f"@shaped spec for {arg!r} on {fn_name} uses "
+                        f"lowercase dim variable {dim!r}; the grammar "
+                        "reserves UPPERCASE for dimension variables",
+                    )
+
+    # -- call-site checking ---------------------------------------------
+
+    def _check_call_sites(
+        self,
+        project: Project,
+        table,
+        contracts: Dict[str, Dict[str, Tuple[ArraySpec, ...]]],
+    ) -> Iterator[Finding]:
+        graph = project.call_graph
+        for caller in table.functions():
+            np_aliases = module_aliases(caller.module, "numpy")
+            if not np_aliases:
+                continue
+            for call in ast.walk(caller.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                callee = graph.resolve_call(caller, call)
+                if callee is None or callee.qualname not in contracts:
+                    continue
+                specs = contracts[callee.qualname]
+                for param, arg_node in self._bind(callee, call):
+                    if param not in specs:
+                        continue
+                    if not isinstance(arg_node, ast.Call):
+                        continue
+                    static = _static_array(arg_node, np_aliases)
+                    if static is None:
+                        continue
+                    if not static.admits(specs[param]):
+                        spec_text = "|".join(a.describe() for a in specs[param])
+                        yield self.finding(
+                            caller.module,
+                            arg_node,
+                            f"argument {param!r} of {callee.name} is built as "
+                            f"{static.describe()}, which can never satisfy "
+                            f"its @shaped spec {spec_text!r}",
+                        )
+
+    def _bind(
+        self, callee: Symbol, call: ast.Call
+    ) -> Iterator[Tuple[str, ast.expr]]:
+        params = _function_params(callee.node)
+        if params and params[0] in ("self", "cls") and callee.kind == "method":
+            if isinstance(call.func, ast.Attribute):
+                params = params[1:]
+        for pos, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                return
+            if pos < len(params):
+                yield params[pos], arg
+        for kw in call.keywords:
+            if kw.arg is not None:
+                yield kw.arg, kw.value

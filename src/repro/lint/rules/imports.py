@@ -31,7 +31,6 @@ __all__ = ["ImportHygienePass", "LAYERS"]
 #: dispatcher built on top of it.
 LAYERS: Dict[str, int] = {
     "repro.contracts": 0,
-    "repro.lint": 1,
     "repro.cache": 1,
     "repro.neural": 1,
     "repro.network": 1,
@@ -49,6 +48,9 @@ LAYERS: Dict[str, int] = {
     "repro.streaming": 7,
     "repro.baselines": 8,
     "repro.analysis": 9,
+    # The lint rules read the contracts grammar and the pinned metric
+    # schema, so the linter sits high in the stack — nothing imports it.
+    "repro.lint": 10,
     "repro.cli": 10,
     "repro": 11,
     "repro.__main__": 11,

@@ -1,0 +1,281 @@
+"""metric-schema: registry call sites pinned to the trace schema.
+
+:class:`repro.observability.MetricsRegistry` catches a counter/histogram
+name collision only at runtime — and only if the colliding pair happens
+to fire in the same session. This pass collects every metric name the
+``repro`` package can emit *statically* and checks the namespace as a
+whole against the pinned registry
+(:data:`repro.observability.schema.METRIC_FAMILIES`):
+
+* every ``registry.counter("...")`` / ``registry.histogram("...")``
+  call site with a literal name must name a registered family of the
+  same kind;
+* f-string names (``f"stage_ms/{span.name}"``) are dynamic *families*
+  (interpolations become ``*``); the family pattern itself must be
+  registered, with the same kind;
+* a concrete name that a *different* dynamic family can also generate
+  is a collision waiting for the right interpolation (the historical
+  ``sr.dispatch/tiles_total`` vs ``f"sr.dispatch/tiles_{name}"`` bug —
+  a backend named ``total`` silently merged counts);
+* two registered dynamic families must not overlap (no string matches
+  both), and every :data:`VOLATILE_METRIC_PREFIXES` entry must cover at
+  least one registered family — a stripped prefix nothing emits under
+  is dead schema;
+* a metric name that is not statically analyzable (a bare variable) is
+  itself a finding: the schema can only be pinned if names are literal.
+
+Scoped to ``repro.*`` modules (scripts and tests *consume* metrics and
+may probe arbitrary names).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ...observability.schema import METRIC_FAMILIES, VOLATILE_METRIC_PREFIXES
+from ..framework import Finding, LintPass, ModuleInfo, Project, register_pass
+from ..graph import dotted_parts
+
+__all__ = ["MetricSchemaPass"]
+
+_KINDS = ("counter", "histogram")
+
+#: Modules whose ``.counter``/``.histogram`` calls are the registry's own
+#: implementation, not emission sites.
+_REGISTRY_IMPL = ("repro.observability.metrics",)
+
+
+def _family_pattern(node: ast.JoinedStr) -> Optional[str]:
+    """f-string -> family pattern with interpolations as ``*``."""
+    parts: List[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        elif isinstance(value, ast.FormattedValue):
+            parts.append("*")
+        else:
+            return None
+    return "".join(parts)
+
+
+def _pattern_matches(pattern: str, name: str) -> bool:
+    """Can ``pattern`` (with ``*`` wildcards) generate ``name``?"""
+    pieces = pattern.split("*")
+    if len(pieces) == 1:
+        return pattern == name
+    if not name.startswith(pieces[0]) or not name.endswith(pieces[-1]):
+        return False
+    pos = len(pieces[0])
+    for piece in pieces[1:-1]:
+        idx = name.find(piece, pos)
+        if idx < 0:
+            return False
+        pos = idx + len(piece)
+    return pos <= len(name) - len(pieces[-1])
+
+
+def _patterns_overlap(a: str, b: str) -> bool:
+    """Can two wildcard patterns generate a common string? Conservative:
+    compares the literal prefixes and suffixes around the wildcards."""
+    pa, sa = a.split("*", 1)[0], a.rsplit("*", 1)[-1]
+    pb, sb = b.split("*", 1)[0], b.rsplit("*", 1)[-1]
+    prefix_ok = pa.startswith(pb) or pb.startswith(pa)
+    suffix_ok = sa.endswith(sb) or sb.endswith(sa)
+    return prefix_ok and suffix_ok
+
+
+class _Site:
+    def __init__(
+        self, mod: ModuleInfo, node: ast.Call, kind: str,
+        name: Optional[str], pattern: Optional[str],
+    ) -> None:
+        self.mod = mod
+        self.node = node
+        self.kind = kind
+        self.name = name  # concrete literal name
+        self.pattern = pattern  # dynamic family pattern (f-string)
+
+
+@register_pass
+class MetricSchemaPass(LintPass):
+    name = "metric-schema"
+    description = (
+        "every statically-collectable metric name must match the pinned "
+        "METRIC_FAMILIES registry: right kind, no unregistered families, "
+        "no concrete name a dynamic family can also generate"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        sites: List[_Site] = []
+        relevant = False
+        for mod in project.modules:
+            if mod.tree is None or mod.name is None or mod.is_test:
+                continue
+            if not mod.in_package(["repro"]):
+                continue
+            relevant = True
+            if mod.name in _REGISTRY_IMPL:
+                continue
+            yield from self._collect(mod, sites)
+        if not relevant:
+            return
+        yield from self._check_sites(sites)
+        yield from self._check_registry(project)
+
+    # -- collection ------------------------------------------------------
+
+    def _collect(self, mod: ModuleInfo, sites: List[_Site]) -> Iterator[Finding]:
+        assert mod.tree is not None
+        for node in ast.walk(mod.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _KINDS
+                and node.args
+            ):
+                continue
+            kind = node.func.attr
+            name_arg = node.args[0]
+            if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+                sites.append(_Site(mod, node, kind, name_arg.value, None))
+            elif isinstance(name_arg, ast.JoinedStr):
+                pattern = _family_pattern(name_arg)
+                if pattern is None or "*" not in pattern:
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"metric name passed to .{kind}() is an f-string the "
+                        "pass cannot reduce to a family pattern; use a "
+                        "literal prefix with interpolated suffixes",
+                    )
+                else:
+                    sites.append(_Site(mod, node, kind, None, pattern))
+            else:
+                yield self.finding(
+                    mod,
+                    node,
+                    f"metric name passed to .{kind}() is not statically "
+                    "known; the metric namespace is pinned by "
+                    "METRIC_FAMILIES, so names must be literals or f-strings "
+                    "with literal structure",
+                )
+
+    # -- per-site checks against the pinned registry ---------------------
+
+    def _check_sites(self, sites: List[_Site]) -> Iterator[Finding]:
+        dynamic_families = [f for f in METRIC_FAMILIES if f.endswith("*")]
+        for site in sites:
+            if site.name is not None:
+                yield from self._check_concrete(site, dynamic_families, sites)
+            else:
+                yield from self._check_dynamic(site)
+
+    def _check_concrete(
+        self, site: _Site, dynamic_families: List[str], sites: List[_Site]
+    ) -> Iterator[Finding]:
+        name = site.name
+        assert name is not None
+        exact = METRIC_FAMILIES.get(name)
+        wildcard_hits = [f for f in dynamic_families if _pattern_matches(f, name)]
+        if exact is None and not wildcard_hits:
+            yield self.finding(
+                site.mod,
+                site.node,
+                f"metric {name!r} is not a registered family; add it to "
+                "METRIC_FAMILIES in repro/observability/schema.py (or fix "
+                "the name)",
+            )
+            return
+        if exact is not None and wildcard_hits:
+            yield self.finding(
+                site.mod,
+                site.node,
+                f"metric {name!r} is registered exactly but dynamic "
+                f"famil{'y' if len(wildcard_hits) == 1 else 'ies'} "
+                f"{', '.join(repr(f) for f in wildcard_hits)} can generate "
+                "the same name; rename one so an interpolated value can "
+                "never collide with the aggregate",
+            )
+        expected = exact if exact is not None else METRIC_FAMILIES[wildcard_hits[0]]
+        if expected != site.kind:
+            yield self.finding(
+                site.mod,
+                site.node,
+                f"metric {name!r} is registered as a {expected} but used "
+                f"here as a {site.kind}; MetricsRegistry would raise at "
+                "runtime when both sites fire",
+            )
+        # A concrete name one of the *collected* dynamic sites can also
+        # generate is the same collision even before registration.
+        for other in sites:
+            if (
+                other.pattern is not None
+                and not any(_pattern_matches(f, name) for f in wildcard_hits)
+                and _pattern_matches(other.pattern, name)
+            ):
+                yield self.finding(
+                    site.mod,
+                    site.node,
+                    f"metric {name!r} can also be generated by the dynamic "
+                    f"family {other.pattern!r} at "
+                    f"{other.mod.rel}:{other.node.lineno}; rename one",
+                )
+
+    def _check_dynamic(self, site: _Site) -> Iterator[Finding]:
+        pattern = site.pattern
+        assert pattern is not None
+        registered = METRIC_FAMILIES.get(pattern)
+        if registered is None:
+            yield self.finding(
+                site.mod,
+                site.node,
+                f"dynamic metric family {pattern!r} is not registered; add "
+                "it to METRIC_FAMILIES in repro/observability/schema.py",
+            )
+        elif registered != site.kind:
+            yield self.finding(
+                site.mod,
+                site.node,
+                f"dynamic metric family {pattern!r} is registered as a "
+                f"{registered} but used here as a {site.kind}",
+            )
+
+    # -- registry-level invariants ---------------------------------------
+
+    def _check_registry(self, project: Project) -> Iterator[Finding]:
+        schema_mod = project.by_name.get("repro.observability.schema")
+
+        def registry_finding(message: str) -> Finding:
+            mod = schema_mod
+            if mod is None:
+                # Whole-project finding with no anchoring module: attach
+                # to the first module so paths stay meaningful.
+                mod = project.modules[0]
+            return self.finding(mod, None, message, text="METRIC_FAMILIES")
+
+        families = list(METRIC_FAMILIES)
+        dynamic = [f for f in families if f.endswith("*")]
+        for i, a in enumerate(dynamic):
+            for b in dynamic[i + 1 :]:
+                if _patterns_overlap(a, b):
+                    yield registry_finding(
+                        f"dynamic metric families {a!r} and {b!r} overlap: "
+                        "some interpolation matches both; disambiguate the "
+                        "literal prefixes"
+                    )
+        for concrete in families:
+            if concrete.endswith("*"):
+                continue
+            for f in dynamic:
+                if _pattern_matches(f, concrete):
+                    yield registry_finding(
+                        f"registered metric {concrete!r} is also generable "
+                        f"by dynamic family {f!r}; rename one"
+                    )
+        for prefix in VOLATILE_METRIC_PREFIXES:
+            if not any(f.startswith(prefix) for f in families):
+                yield registry_finding(
+                    f"VOLATILE_METRIC_PREFIXES entry {prefix!r} covers no "
+                    "registered metric family; dead schema"
+                )

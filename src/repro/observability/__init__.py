@@ -12,11 +12,13 @@ from __future__ import annotations
 from .metrics import Counter, Histogram, MetricsRegistry, default_latency_buckets
 from .schema import (
     FRAME_TRACE_SCHEMA,
+    METRIC_FAMILIES,
     SESSION_TRACE_SCHEMA,
     STAGE_SPAN_SCHEMA,
     VOLATILE_METRIC_PREFIXES,
     SchemaError,
     canonicalize_session_trace,
+    match_metric_family,
     validate,
     validate_session_trace,
 )
@@ -25,6 +27,7 @@ __all__ = [
     "Counter",
     "FRAME_TRACE_SCHEMA",
     "Histogram",
+    "METRIC_FAMILIES",
     "MetricsRegistry",
     "SESSION_TRACE_SCHEMA",
     "STAGE_SPAN_SCHEMA",
@@ -32,6 +35,7 @@ __all__ = [
     "VOLATILE_METRIC_PREFIXES",
     "canonicalize_session_trace",
     "default_latency_buckets",
+    "match_metric_family",
     "observe_frame_trace",
     "observe_pipeline_dequeue",
     "observe_pipeline_producer",
@@ -76,10 +80,17 @@ def observe_frame_trace(registry: MetricsRegistry, trace) -> None:
 def _observe_reuse(registry: MetricsRegistry, reuse: dict) -> None:
     """Record one frame's GOP-reuse decision (``reuse`` span metadata)."""
     registry.counter("sr.reuse/frames").inc()
-    for key in ("tiles_reused", "tiles_recomputed_sr", "tiles_recomputed_bilinear"):
-        count = int(reuse.get(key, 0))
-        if count:
-            registry.counter(f"sr.reuse/{key}").inc(count)
+    # Names spelled out (not interpolated from the dict keys) so the
+    # metric-schema lint pass can pin each one against METRIC_FAMILIES.
+    count = int(reuse.get("tiles_reused", 0))
+    if count:
+        registry.counter("sr.reuse/tiles_reused").inc(count)
+    count = int(reuse.get("tiles_recomputed_sr", 0))
+    if count:
+        registry.counter("sr.reuse/tiles_recomputed_sr").inc(count)
+    count = int(reuse.get("tiles_recomputed_bilinear", 0))
+    if count:
+        registry.counter("sr.reuse/tiles_recomputed_bilinear").inc(count)
     if reuse.get("refresh"):
         registry.counter("sr.reuse/refreshes").inc()
         reason = reuse.get("reason")
@@ -101,9 +112,13 @@ def _observe_dispatch(registry: MetricsRegistry, dispatch: dict) -> None:
     overflow = int(dispatch.get("overflow_tiles", 0))
     if overflow:
         registry.counter("sr.dispatch/overflow_tiles").inc(overflow)
+    # Dynamic per-backend family lives under its own namespace: the old
+    # f"sr.dispatch/tiles_{name}" spelling could collide with the static
+    # "sr.dispatch/tiles_total" aggregate (a backend named "total" would
+    # silently merge counts) — the metric-schema lint pass pins this.
     for name, count in (dispatch.get("backend_tiles") or {}).items():
         if count:
-            registry.counter(f"sr.dispatch/tiles_{name}").inc(int(count))
+            registry.counter(f"sr.dispatch/backend_tiles/{name}").inc(int(count))
     for engine, ms in (dispatch.get("engine_ms") or {}).items():
         registry.histogram(f"sr.dispatch/engine_ms_{engine}").observe(float(ms))
     registry.histogram("sr.dispatch/upscale_ms").observe(

@@ -15,11 +15,13 @@ from typing import Any, Dict, List, Union
 
 __all__ = [
     "SchemaError",
+    "METRIC_FAMILIES",
     "SESSION_TRACE_SCHEMA",
     "FRAME_TRACE_SCHEMA",
     "STAGE_SPAN_SCHEMA",
     "VOLATILE_METRIC_PREFIXES",
     "canonicalize_session_trace",
+    "match_metric_family",
     "validate",
     "validate_session_trace",
 ]
@@ -29,6 +31,73 @@ __all__ = [
 #: :func:`canonicalize_session_trace` strips them so serial and pipelined
 #: exports of the same session compare byte-identical.
 VOLATILE_METRIC_PREFIXES = ("stage_wall_ms/", "pipeline/")
+
+#: The pinned metric-name registry: every counter/histogram the
+#: observability layer may emit, mapped to its kind. Families ending in
+#: ``*`` are dynamic: the suffix is interpolated per span/backend/rung
+#: at the call site. The ``metric-schema`` lint pass statically collects
+#: every registry call site and checks it against this table (unknown
+#: family, kind mismatch, or a concrete name a dynamic family can also
+#: generate are all lint errors), so the trace export's metric namespace
+#: cannot drift or collide without a deliberate edit here.
+METRIC_FAMILIES: Dict[str, str] = {
+    "frames_total": "counter",
+    "frames_dropped": "counter",
+    "network_retransmissions": "counter",
+    "frame_total_ms": "histogram",
+    "stage_ms/*": "histogram",
+    "stage_wall_ms/*": "histogram",
+    "sr.reuse/frames": "counter",
+    "sr.reuse/tiles_reused": "counter",
+    "sr.reuse/tiles_recomputed_sr": "counter",
+    "sr.reuse/tiles_recomputed_bilinear": "counter",
+    "sr.reuse/refreshes": "counter",
+    "sr.reuse/refresh_*": "counter",
+    "sr.reuse/warp_ms": "histogram",
+    "sr.reuse/dirty_fraction": "histogram",
+    "sr.dispatch/frames": "counter",
+    "sr.dispatch/tiles_total": "counter",
+    "sr.dispatch/overflow_tiles": "counter",
+    "sr.dispatch/backend_tiles/*": "counter",
+    "sr.dispatch/engine_ms_*": "histogram",
+    "sr.dispatch/upscale_ms": "histogram",
+    "sr.dispatch/mean_difficulty": "histogram",
+    "net.scenario/frames": "counter",
+    "net.scenario/frames_*": "counter",
+    "net.scenario/burst_frames": "counter",
+    "net.scenario/bandwidth_mbps": "histogram",
+    "net.scenario/propagation_ms": "histogram",
+    "net.scenario/jitter_ms": "histogram",
+    "net.scenario/loss_rate": "histogram",
+    "abr/frames": "counter",
+    "abr/frames_*": "counter",
+    "abr/switches": "counter",
+    "abr/idr_requests": "counter",
+    "abr/quality": "histogram",
+    "abr/roi_side": "histogram",
+    "pipeline/queue_wait_ms": "histogram",
+    "pipeline/ring_occupancy": "histogram",
+    "pipeline/consumer_stalls": "counter",
+    "pipeline/producer_stalls": "counter",
+    "pipeline/producer_stall_ms": "counter",
+    "pipeline/frames_produced": "counter",
+    "pipeline/truncated": "counter",
+    "pipeline/frames_missing": "counter",
+}
+
+
+def match_metric_family(name: str) -> Union[str, None]:
+    """The METRIC_FAMILIES key a concrete metric name belongs to.
+
+    Exact entries win over dynamic ``prefix*`` families; returns None
+    for a name outside the registry entirely.
+    """
+    if name in METRIC_FAMILIES:
+        return name
+    for family in METRIC_FAMILIES:
+        if family.endswith("*") and name.startswith(family[:-1]):
+            return family
+    return None
 
 
 class SchemaError(ValueError):

@@ -148,6 +148,7 @@ def pixel_7_pro() -> DeviceProfile:
 
 
 DEVICES: Dict[str, "DeviceProfile"] = {}
+# reprolint: disable-file=fork-safety -- DEVICES is a lazy memo of the deterministic built-in profiles; every process rebuilds identical content from calibration constants
 
 
 def get_device(name: str) -> DeviceProfile:

@@ -55,6 +55,49 @@ class TestSuppression:
         result = lint(make_module(src, name="repro.codec.fixture"), RULE)
         assert not result.ok
 
+    def test_def_line_comment_covers_decorator_findings(self, lint):
+        # contract-consistency anchors bad-spec findings on the decorator
+        # line; the conventional place for the suppression is the def.
+        src = (
+            'from repro.contracts import shaped\n\n\n'
+            '@shaped(missing="H W")\n'
+            "def f(frame):  # reprolint: disable=contract-consistency -- fixture\n"
+            "    return frame\n"
+        )
+        result = lint(
+            make_module(src, name="repro.fixt.decorated"),
+            ("contract-consistency",),
+        )
+        assert result.ok and len(result.suppressed) == 1
+
+    def test_decorator_line_comment_still_works(self, lint):
+        src = (
+            'from repro.contracts import shaped\n\n\n'
+            '@shaped(missing="H W")  # reprolint: disable=contract-consistency -- fixture\n'
+            "def f(frame):\n"
+            "    return frame\n"
+        )
+        result = lint(
+            make_module(src, name="repro.fixt.decorated"),
+            ("contract-consistency",),
+        )
+        assert result.ok and len(result.suppressed) == 1
+
+    def test_neighbouring_def_comment_does_not_leak(self, lint):
+        src = (
+            'from repro.contracts import shaped\n\n\n'
+            "def g():  # reprolint: disable=contract-consistency -- elsewhere\n"
+            "    return 0\n\n\n"
+            '@shaped(missing="H W")\n'
+            "def f(frame):\n"
+            "    return frame\n"
+        )
+        result = lint(
+            make_module(src, name="repro.fixt.decorated"),
+            ("contract-consistency",),
+        )
+        assert not result.ok
+
 
 class TestBaseline:
     def test_matching_entry_filters_finding(self, lint):
@@ -126,6 +169,15 @@ class TestModuleInfo:
         result = run_lint([str(bad)])
         assert [f.rule for f in result.new] == ["syntax-error"]
 
+    def test_pycache_skipped_even_as_direct_path(self, tmp_path):
+        # Directory walks already skip __pycache__; a stale .py handed to
+        # the CLI as an explicit path must be skipped too.
+        stale = tmp_path / "src" / "repro" / "__pycache__" / "fixture.py"
+        stale.parent.mkdir(parents=True)
+        stale.write_text(HOT_SNIPPET)
+        result = run_lint([str(stale)])
+        assert result.ok and not result.new
+
 
 class TestReporters:
     def _result(self, lint):
@@ -178,6 +230,41 @@ class TestCli:
         assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
         capsys.readouterr()
 
+    def test_editing_grandfathered_line_resurfaces_finding(self, tmp_path, capsys):
+        # Baselines key on (rule, path, line text): touching the line
+        # invalidates the grandfather and the finding comes back.
+        bad = self._write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(tmp_path), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        bad.write_text(bad.read_text().replace("np.zeros(4)", "np.zeros(8)"))
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+        capsys.readouterr()
+
+    def test_fail_stale_baseline_flag(self, tmp_path, capsys):
+        # Fixing the grandfathered line leaves a dangling baseline entry:
+        # tolerated by default, exit 1 under --fail-stale-baseline.
+        bad = self._write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(tmp_path), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        bad.write_text(
+            '__all__ = ["x"]\nimport numpy as np\n'
+            "x = np.zeros(4, dtype=np.float64)\n"
+        )
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert main([str(tmp_path), "--baseline", str(baseline),
+                     "--fail-stale-baseline"]) == 1
+        assert "stale baseline" in capsys.readouterr().err
+
+    def test_rules_subset_isolates_other_rules(self, tmp_path, capsys):
+        self._write_bad(tmp_path)
+        assert main([str(tmp_path), "--no-baseline",
+                     "--rules", "epsilon-comparison"]) == 0
+        assert main([str(tmp_path), "--no-baseline",
+                     "--rules", "dtype-discipline"]) == 1
+        capsys.readouterr()
+
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
@@ -187,6 +274,10 @@ class TestCli:
             "nondeterminism",
             "import-hygiene",
             "public-api",
+            "knob-parity",
+            "contract-consistency",
+            "fork-safety",
+            "metric-schema",
         ):
             assert rule in out
 
@@ -208,6 +299,14 @@ class TestShippedTree:
             "nondeterminism",
             "import-hygiene",
             "public-api",
+        }
+
+    def test_whole_program_passes_registered(self):
+        assert set(registered_passes()) >= {
+            "knob-parity",
+            "contract-consistency",
+            "fork-safety",
+            "metric-schema",
         }
 
     def test_src_and_tests_lint_clean_without_baseline(self):

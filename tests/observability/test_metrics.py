@@ -7,10 +7,12 @@ import json
 import pytest
 
 from repro.observability import (
+    METRIC_FAMILIES,
     Counter,
     Histogram,
     MetricsRegistry,
     default_latency_buckets,
+    match_metric_family,
     observe_frame_trace,
 )
 from repro.streaming.pipeline import FrameTrace
@@ -109,3 +111,37 @@ class TestObserveFrameTrace:
         observe_frame_trace(reg, self._trace())
         assert reg.counter("frames_dropped").value == 1
         assert reg.counter("network_retransmissions").value == 3
+
+
+class TestMetricFamilies:
+    def test_backend_named_total_cannot_merge_into_aggregate(self):
+        # Regression: per-backend counts used to live at
+        # f"sr.dispatch/tiles_{name}", so a backend literally named
+        # "total" silently merged into the aggregate counter.
+        reg = MetricsRegistry()
+        trace = FrameTrace(index=0, frame_type="P")
+        trace.add_span(
+            "client",
+            1.0,
+            dispatch={"tiles_total": 6, "backend_tiles": {"total": 4, "edsr": 2}},
+        )
+        observe_frame_trace(reg, trace)
+        assert reg.counter("sr.dispatch/tiles_total").value == 6
+        assert reg.counter("sr.dispatch/backend_tiles/total").value == 4
+        assert reg.counter("sr.dispatch/backend_tiles/edsr").value == 2
+
+    def test_match_metric_family(self):
+        assert match_metric_family("frames_total") == "frames_total"
+        assert match_metric_family("stage_ms/network") == "stage_ms/*"
+        assert (
+            match_metric_family("sr.dispatch/backend_tiles/fsrcnn")
+            == "sr.dispatch/backend_tiles/*"
+        )
+        assert match_metric_family("unknown/name") is None
+
+    def test_aggregate_is_out_of_every_dynamic_familys_reach(self):
+        family = match_metric_family("sr.dispatch/tiles_total")
+        assert family == "sr.dispatch/tiles_total"  # exact, never a wildcard
+
+    def test_registered_kinds_are_well_formed(self):
+        assert set(METRIC_FAMILIES.values()) <= {"counter", "histogram"}
